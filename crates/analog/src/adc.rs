@@ -1,0 +1,164 @@
+//! Analog-to-digital conversion.
+//!
+//! Models the RASC-class ADC that digitizes the amplified PSA output for
+//! run-time processing: range clamping, uniform quantization, and an
+//! ideal-SNR helper for sizing.
+
+use crate::error::AnalogError;
+use serde::{Deserialize, Serialize};
+
+/// A uniform mid-tread quantizer with a bipolar full-scale range.
+///
+/// # Example
+///
+/// ```
+/// use psa_analog::adc::Adc;
+/// let adc = Adc::new(12, 2.0)?; // 12 bits over ±1 V
+/// let q = adc.quantize(&[0.0, 0.5, 2.0, -3.0]);
+/// assert_eq!(q[0], 0.0);
+/// assert!((q[1] - 0.5).abs() < adc.lsb());
+/// assert!(q[2] <= 1.0 && q[3] >= -1.0); // clamped to full scale
+/// # Ok::<(), psa_analog::AnalogError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adc {
+    bits: u32,
+    full_scale_v: f64,
+}
+
+impl Adc {
+    /// Creates an ADC with `bits` resolution over a peak-to-peak range
+    /// of `full_scale_v` volts (bipolar: ±FS/2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::InvalidParameter`] for 0 or > 24 bits or a
+    /// non-positive range.
+    pub fn new(bits: u32, full_scale_v: f64) -> Result<Self, AnalogError> {
+        if bits == 0 || bits > 24 {
+            return Err(AnalogError::InvalidParameter {
+                what: "adc resolution must be 1..=24 bits",
+            });
+        }
+        if full_scale_v <= 0.0 {
+            return Err(AnalogError::InvalidParameter {
+                what: "adc full scale must be positive",
+            });
+        }
+        Ok(Adc { bits, full_scale_v })
+    }
+
+    /// The RASC-class capture ADC: 12 bits over ±3.3 V (matched to the
+    /// amplifier's output swing).
+    pub fn rasc() -> Self {
+        Adc::new(12, 6.6).expect("constants are valid")
+    }
+
+    /// Resolution in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// One least-significant-bit step, volts.
+    pub fn lsb(&self) -> f64 {
+        self.full_scale_v / (1u64 << self.bits) as f64
+    }
+
+    /// Ideal quantization SNR for a full-scale sine, dB
+    /// (`6.02·bits + 1.76`).
+    pub fn ideal_snr_db(&self) -> f64 {
+        6.02 * self.bits as f64 + 1.76
+    }
+
+    /// Quantizes a sample stream (clamps to ±FS/2 first).
+    pub fn quantize(&self, signal: &[f64]) -> Vec<f64> {
+        let half = self.full_scale_v / 2.0;
+        let lsb = self.lsb();
+        signal
+            .iter()
+            .map(|&x| {
+                let clamped = x.clamp(-half, half);
+                (clamped / lsb).round() * lsb
+            })
+            .collect()
+    }
+
+    /// Quantizes to integer codes (two's-complement style range).
+    pub fn codes(&self, signal: &[f64]) -> Vec<i32> {
+        let half = self.full_scale_v / 2.0;
+        let lsb = self.lsb();
+        let max_code = (1i64 << (self.bits - 1)) - 1;
+        signal
+            .iter()
+            .map(|&x| {
+                let clamped = x.clamp(-half, half);
+                ((clamped / lsb).round() as i64).clamp(-max_code - 1, max_code) as i32
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn lsb_and_validation() {
+        let adc = Adc::new(10, 1.024).unwrap();
+        assert!((adc.lsb() - 0.001).abs() < 1e-12);
+        assert!(Adc::new(0, 1.0).is_err());
+        assert!(Adc::new(25, 1.0).is_err());
+        assert!(Adc::new(10, 0.0).is_err());
+    }
+
+    #[test]
+    fn quantization_error_bounded_by_half_lsb() {
+        let adc = Adc::new(8, 2.0).unwrap();
+        let x: Vec<f64> = (0..1000).map(|i| 0.9 * (i as f64 * 0.013).sin()).collect();
+        let q = adc.quantize(&x);
+        for (orig, quant) in x.iter().zip(&q) {
+            assert!((orig - quant).abs() <= adc.lsb() / 2.0 + 1e-15);
+        }
+    }
+
+    #[test]
+    fn clamping_at_full_scale() {
+        let adc = Adc::new(8, 2.0).unwrap();
+        let q = adc.quantize(&[5.0, -5.0]);
+        assert!((q[0] - 1.0).abs() < adc.lsb());
+        assert!((q[1] + 1.0).abs() < adc.lsb());
+    }
+
+    #[test]
+    fn measured_snr_close_to_ideal() {
+        // Quantize a near-full-scale sine and compare SNR to 6.02b+1.76.
+        let adc = Adc::new(10, 2.0).unwrap();
+        let n = 65536;
+        let x: Vec<f64> = (0..n)
+            .map(|i| 0.99 * (2.0 * PI * 1001.0 * i as f64 / n as f64).sin())
+            .collect();
+        let q = adc.quantize(&x);
+        let err: Vec<f64> = x.iter().zip(&q).map(|(a, b)| a - b).collect();
+        let p_sig: f64 = x.iter().map(|v| v * v).sum();
+        let p_err: f64 = err.iter().map(|v| v * v).sum();
+        let snr = 10.0 * (p_sig / p_err).log10();
+        assert!((snr - adc.ideal_snr_db()).abs() < 2.0, "snr {snr}");
+    }
+
+    #[test]
+    fn codes_cover_range() {
+        let adc = Adc::new(8, 2.0).unwrap();
+        let codes = adc.codes(&[-1.0, 0.0, 1.0]);
+        assert_eq!(codes[1], 0);
+        assert!(codes[0] >= -128 && codes[0] <= -120);
+        assert_eq!(codes[2], 127);
+    }
+
+    #[test]
+    fn rasc_preset() {
+        let adc = Adc::rasc();
+        assert_eq!(adc.bits(), 12);
+        assert!(adc.ideal_snr_db() > 70.0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Error type for the analog measurement chain.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the analog chain models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalogError {
+    /// A parameter was invalid.
+    InvalidParameter {
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// The input signal was empty.
+    EmptyInput,
+    /// A DSP step failed.
+    Dsp(psa_dsp::DspError),
+}
+
+impl fmt::Display for AnalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalogError::InvalidParameter { what } => {
+                write!(f, "invalid parameter: {what}")
+            }
+            AnalogError::EmptyInput => write!(f, "input signal is empty"),
+            AnalogError::Dsp(e) => write!(f, "dsp error: {e}"),
+        }
+    }
+}
+
+impl Error for AnalogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalogError::Dsp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<psa_dsp::DspError> for AnalogError {
+    fn from(e: psa_dsp::DspError) -> Self {
+        AnalogError::Dsp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_and_source() {
+        let e = AnalogError::Dsp(psa_dsp::DspError::EmptyInput);
+        assert!(e.to_string().contains("dsp"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&AnalogError::EmptyInput).is_none());
+    }
+}

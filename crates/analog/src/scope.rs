@@ -1,0 +1,160 @@
+//! Oscilloscope model: clock-edge triggering and record capture.
+//!
+//! The bench scope triggers on the rising edge of the 33 MHz clock
+//! (Sec. VI-A) so repeated captures align to the encryption schedule;
+//! aligned averaging then suppresses asynchronous noise.
+
+use crate::error::AnalogError;
+
+/// A triggered capture instrument.
+///
+/// # Example
+///
+/// ```
+/// use psa_analog::scope::Scope;
+/// let scope = Scope::new(1024);
+/// // A clock at exactly 8 samples/cycle triggers every 8 samples.
+/// let clk: Vec<f64> = (0..64).map(|i| if (i / 4) % 2 == 0 { 0.0 } else { 1.0 }).collect();
+/// let edges = scope.trigger_points(&clk, 0.5);
+/// assert!(edges.len() >= 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scope {
+    record_len: usize,
+}
+
+impl Scope {
+    /// Creates a scope capturing `record_len`-sample records.
+    pub fn new(record_len: usize) -> Self {
+        Scope { record_len }
+    }
+
+    /// Record length in samples.
+    pub fn record_len(&self) -> usize {
+        self.record_len
+    }
+
+    /// Indices where `trigger_signal` crosses `level` rising.
+    pub fn trigger_points(&self, trigger_signal: &[f64], level: f64) -> Vec<usize> {
+        trigger_signal
+            .windows(2)
+            .enumerate()
+            .filter_map(|(i, w)| (w[0] < level && w[1] >= level).then_some(i + 1))
+            .collect()
+    }
+
+    /// Captures up to `max_records` aligned records from `signal`,
+    /// starting at each trigger point that leaves a full record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::EmptyInput`] when no trigger yields a full
+    /// record.
+    pub fn capture_aligned(
+        &self,
+        signal: &[f64],
+        trigger_signal: &[f64],
+        level: f64,
+        max_records: usize,
+    ) -> Result<Vec<Vec<f64>>, AnalogError> {
+        let mut records = Vec::new();
+        for &t in &self.trigger_points(trigger_signal, level) {
+            if records.len() >= max_records {
+                break;
+            }
+            if t + self.record_len <= signal.len() {
+                records.push(signal[t..t + self.record_len].to_vec());
+            }
+        }
+        if records.is_empty() {
+            return Err(AnalogError::EmptyInput);
+        }
+        Ok(records)
+    }
+
+    /// Point-wise average of aligned records (noise suppression).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::EmptyInput`] for no records.
+    pub fn average(&self, records: &[Vec<f64>]) -> Result<Vec<f64>, AnalogError> {
+        Ok(psa_dsp::spectrum::average_traces(records)?)
+    }
+
+    /// An ideal clock waveform at `samples_per_cycle`, `n` samples long,
+    /// for use as a trigger source.
+    pub fn ideal_clock(n: usize, samples_per_cycle: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                if (i % samples_per_cycle) < samples_per_cycle / 2 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triggers_on_rising_edges_only() {
+        let scope = Scope::new(4);
+        let sig = vec![0.0, 1.0, 0.0, 1.0, 1.0, 0.0];
+        let t = scope.trigger_points(&sig, 0.5);
+        assert_eq!(t, vec![1, 3]);
+    }
+
+    #[test]
+    fn aligned_capture_lengths() {
+        let scope = Scope::new(8);
+        let clk = Scope::ideal_clock(64, 8);
+        let signal: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let recs = scope.capture_aligned(&signal, &clk, 0.5, 10).unwrap();
+        assert!(recs.len() >= 6);
+        for r in &recs {
+            assert_eq!(r.len(), 8);
+        }
+        // Each record starts at a clock edge: first samples differ by 8.
+        assert_eq!(recs[1][0] - recs[0][0], 8.0);
+    }
+
+    #[test]
+    fn max_records_respected() {
+        let scope = Scope::new(4);
+        let clk = Scope::ideal_clock(128, 8);
+        let signal = vec![0.0; 128];
+        let recs = scope.capture_aligned(&signal, &clk, 0.5, 3).unwrap();
+        assert_eq!(recs.len(), 3);
+    }
+
+    #[test]
+    fn no_full_record_errors() {
+        let scope = Scope::new(1000);
+        let clk = Scope::ideal_clock(64, 8);
+        let signal = vec![0.0; 64];
+        assert!(scope.capture_aligned(&signal, &clk, 0.5, 4).is_err());
+    }
+
+    #[test]
+    fn averaging_suppresses_alternating_noise() {
+        let scope = Scope::new(4);
+        let records = vec![
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![3.0, 2.0, 1.0, 4.0],
+        ];
+        let avg = scope.average(&records).unwrap();
+        assert_eq!(avg, vec![2.0, 2.0, 2.0, 4.0]);
+        assert!(scope.average(&[]).is_err());
+    }
+
+    #[test]
+    fn ideal_clock_duty_cycle() {
+        let clk = Scope::ideal_clock(80, 8);
+        let high = clk.iter().filter(|&&v| v > 0.5).count();
+        assert_eq!(high, 40);
+    }
+}

@@ -1,0 +1,268 @@
+//! Spectrum-analyzer model (paper Sec. VI-A, VI-D).
+//!
+//! The bench analyzer produces two artifacts the paper relies on:
+//!
+//! * swept **magnitude spectra** — "each trace spans a frequency band
+//!   from DC to 120 MHz, populated with 2000 sample points", averaged
+//!   over five captures (Fig 4);
+//! * **zero-span** traces — the time-domain envelope of one tuned
+//!   frequency component (Fig 5).
+
+use crate::error::AnalogError;
+use psa_dsp::spectrum::{self, DB_FLOOR};
+use psa_dsp::window::Window;
+use psa_dsp::zero_span::ZeroSpan;
+
+/// Spectrum-analyzer settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectrumAnalyzer {
+    /// Displayed span upper edge, Hz (paper: 120 MHz).
+    pub span_hz: f64,
+    /// Trace points across the span (paper: 2000).
+    pub trace_points: usize,
+    /// Analysis window (the instrument's RBW filter shape).
+    pub window: Window,
+}
+
+impl SpectrumAnalyzer {
+    /// The paper's configuration: DC–120 MHz, 2000 points. Bench
+    /// analyzers use a flat-top RBW shape for amplitude-accurate
+    /// readings of off-bin tones, so that is the default window.
+    pub fn date24() -> Self {
+        SpectrumAnalyzer {
+            span_hz: 120.0e6,
+            trace_points: 2000,
+            window: Window::FlatTop,
+        }
+    }
+
+    /// One magnitude trace in dB: windowed FFT of `record` (sampled at
+    /// `fs_hz`), truncated to the span and resampled to
+    /// [`trace_points`](Self::trace_points) points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalogError::EmptyInput`] for an empty record or
+    /// [`AnalogError::InvalidParameter`] when the span exceeds Nyquist.
+    pub fn trace_db(&self, record: &[f64], fs_hz: f64) -> Result<Vec<f64>, AnalogError> {
+        if record.is_empty() {
+            return Err(AnalogError::EmptyInput);
+        }
+        if self.span_hz > fs_hz / 2.0 {
+            return Err(AnalogError::InvalidParameter {
+                what: "span exceeds nyquist",
+            });
+        }
+        let amp = spectrum::try_amplitude_spectrum(record, self.window)?;
+        let n_fft = record.len();
+        let bins_in_span =
+            ((self.span_hz * n_fft as f64 / fs_hz) as usize + 1).min(amp.len());
+        let in_span = &amp[..bins_in_span];
+        let resampled = peak_hold_resample(in_span, self.trace_points);
+        Ok(resampled.into_iter().map(spectrum::amplitude_db).collect())
+    }
+
+    /// Averages several records into one displayed trace (the paper
+    /// averages five), in dB. Averaging happens in linear amplitude, as
+    /// the instrument's trace-average mode does.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`trace_db`](Self::trace_db); additionally
+    /// [`AnalogError::EmptyInput`] when `records` is empty.
+    pub fn averaged_trace_db(
+        &self,
+        records: &[Vec<f64>],
+        fs_hz: f64,
+    ) -> Result<Vec<f64>, AnalogError> {
+        if records.is_empty() {
+            return Err(AnalogError::EmptyInput);
+        }
+        let linear: Result<Vec<Vec<f64>>, AnalogError> = records
+            .iter()
+            .map(|r| {
+                self.trace_db(r, fs_hz)
+                    .map(|db| db.into_iter().map(spectrum::db_to_amplitude).collect())
+            })
+            .collect();
+        let avg = spectrum::average_traces(&linear?)?;
+        Ok(avg.into_iter().map(spectrum::amplitude_db).collect())
+    }
+
+    /// Frequency (Hz) of trace point `i`.
+    pub fn point_freq_hz(&self, i: usize) -> f64 {
+        self.span_hz * i as f64 / (self.trace_points - 1) as f64
+    }
+
+    /// Closest trace point to a frequency.
+    pub fn freq_point(&self, freq_hz: f64) -> usize {
+        ((freq_hz / self.span_hz) * (self.trace_points - 1) as f64).round() as usize
+    }
+
+    /// Zero-span mode: the amplitude-vs-time trace of the component at
+    /// `center_hz` (Fig 5). Returns the envelope at the decimated rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates zero-span configuration errors (centre out of range)
+    /// and empty-input errors.
+    pub fn zero_span_trace(
+        &self,
+        record: &[f64],
+        fs_hz: f64,
+        center_hz: f64,
+    ) -> Result<Vec<f64>, AnalogError> {
+        let zs = ZeroSpan::new(center_hz, fs_hz)?;
+        Ok(zs.envelope_trimmed(record)?)
+    }
+
+    /// Zero-span with an explicit resolution bandwidth, for measurements
+    /// that must reject close-in neighbours (identification uses
+    /// ~1 MHz).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`zero_span_trace`](Self::zero_span_trace), plus an
+    /// invalid RBW.
+    pub fn zero_span_trace_rbw(
+        &self,
+        record: &[f64],
+        fs_hz: f64,
+        center_hz: f64,
+        rbw_hz: f64,
+    ) -> Result<Vec<f64>, AnalogError> {
+        let zs = ZeroSpan::with_rbw(center_hz, fs_hz, rbw_hz)?;
+        Ok(zs.envelope_trimmed(record)?)
+    }
+
+    /// The dB floor used for silent traces.
+    pub fn db_floor(&self) -> f64 {
+        DB_FLOOR
+    }
+}
+
+impl Default for SpectrumAnalyzer {
+    fn default() -> Self {
+        SpectrumAnalyzer::date24()
+    }
+}
+
+/// Peak-hold trace detector: each displayed point takes the maximum of
+/// the FFT bins that map onto it (how bench analyzers avoid losing
+/// narrow peaks when the display has fewer points than the FFT). When
+/// the display has *more* points than bins, falls back to linear
+/// interpolation.
+fn peak_hold_resample(bins: &[f64], points: usize) -> Vec<f64> {
+    if points == 0 || bins.is_empty() {
+        return Vec::new();
+    }
+    if bins.len() <= points {
+        return spectrum::resample_linear(bins, points)
+            .expect("inputs validated above");
+    }
+    let mut out = Vec::with_capacity(points);
+    for p in 0..points {
+        let lo = p * bins.len() / points;
+        let hi = (((p + 1) * bins.len()) / points).max(lo + 1).min(bins.len());
+        let peak = bins[lo..hi].iter().cloned().fold(f64::MIN, f64::max);
+        out.push(peak);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    const FS: f64 = 264.0e6;
+
+    fn tone(n: usize, f0: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * PI * f0 * i as f64 / FS).sin())
+            .collect()
+    }
+
+    #[test]
+    fn trace_has_2000_points() {
+        let sa = SpectrumAnalyzer::date24();
+        let t = sa.trace_db(&tone(8192, 48.0e6, 1.0), FS).unwrap();
+        assert_eq!(t.len(), 2000);
+    }
+
+    #[test]
+    fn tone_appears_at_correct_point() {
+        let sa = SpectrumAnalyzer::date24();
+        let t = sa.trace_db(&tone(16384, 48.0e6, 0.5), FS).unwrap();
+        let peak = t
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let expected = sa.freq_point(48.0e6);
+        assert!(
+            (peak as i64 - expected as i64).abs() <= 2,
+            "peak at {peak}, expected {expected}"
+        );
+        // Amplitude ≈ 0.5 → −6 dB.
+        assert!((t[peak] - (-6.0)).abs() < 1.0, "peak level {}", t[peak]);
+    }
+
+    #[test]
+    fn point_freq_roundtrip() {
+        let sa = SpectrumAnalyzer::date24();
+        for f in [0.0, 33.0e6, 48.0e6, 84.0e6, 120.0e6] {
+            let p = sa.freq_point(f);
+            assert!((sa.point_freq_hz(p) - f).abs() < sa.span_hz / 1999.0);
+        }
+    }
+
+    #[test]
+    fn averaging_reduces_trace_noise() {
+        let sa = SpectrumAnalyzer::date24();
+        let mut state = 1u64;
+        let mut lcg = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut records = Vec::new();
+        for _ in 0..8 {
+            let r: Vec<f64> = (0..4096).map(|_| 1e-3 * lcg()).collect();
+            records.push(r);
+        }
+        let avg = sa.averaged_trace_db(&records, FS).unwrap();
+        let single = sa.trace_db(&records[0], FS).unwrap();
+        let var = |v: &[f64]| {
+            let m = v.iter().sum::<f64>() / v.len() as f64;
+            v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64
+        };
+        assert!(var(&avg[10..]) < var(&single[10..]));
+    }
+
+    #[test]
+    fn zero_span_recovers_am_envelope() {
+        let sa = SpectrumAnalyzer::date24();
+        let n = 65536;
+        let x: Vec<f64> = (0..n)
+            .map(|i| {
+                let t = i as f64 / FS;
+                (1.0 + 0.5 * (2.0 * PI * 750.0e3 * t).sin())
+                    * (2.0 * PI * 48.0e6 * t).cos()
+            })
+            .collect();
+        let env = sa.zero_span_trace(&x, FS, 48.0e6).unwrap();
+        let max = env.iter().cloned().fold(0.0, f64::max);
+        let min = env.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((max - 1.5).abs() < 0.15, "max {max}");
+        assert!((min - 0.5).abs() < 0.15, "min {min}");
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let sa = SpectrumAnalyzer::date24();
+        assert!(sa.trace_db(&[], FS).is_err());
+        assert!(sa.trace_db(&[0.0; 64], 100.0e6).is_err()); // span > nyquist
+        assert!(sa.averaged_trace_db(&[], FS).is_err());
+    }
+}

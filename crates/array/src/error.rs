@@ -1,0 +1,85 @@
+//! Error type for the PSA hardware model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by lattice programming and coil extraction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ArrayError {
+    /// A node index fell outside the lattice.
+    NodeOutOfRange {
+        /// Row requested.
+        row: usize,
+        /// Column requested.
+        col: usize,
+        /// Lattice dimensions.
+        dims: (usize, usize),
+    },
+    /// The programmed switch set forms no closed sensing loop.
+    NoClosedLoop,
+    /// The programmed switch set forms more than one independent loop
+    /// where exactly one was expected.
+    MultipleLoops {
+        /// Number of independent cycles found.
+        count: usize,
+    },
+    /// A parameter was invalid.
+    InvalidParameter {
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// A sensor index outside the configured bank.
+    SensorOutOfRange {
+        /// Index requested.
+        index: usize,
+        /// Number of sensors available.
+        len: usize,
+    },
+}
+
+impl fmt::Display for ArrayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrayError::NodeOutOfRange { row, col, dims } => write!(
+                f,
+                "node ({row}, {col}) outside {}x{} lattice",
+                dims.0, dims.1
+            ),
+            ArrayError::NoClosedLoop => {
+                write!(f, "programmed switches form no closed loop")
+            }
+            ArrayError::MultipleLoops { count } => {
+                write!(f, "expected one loop, found {count}")
+            }
+            ArrayError::InvalidParameter { what } => {
+                write!(f, "invalid parameter: {what}")
+            }
+            ArrayError::SensorOutOfRange { index, len } => {
+                write!(f, "sensor {index} outside bank of {len}")
+            }
+        }
+    }
+}
+
+impl Error for ArrayError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        let e = ArrayError::NodeOutOfRange {
+            row: 40,
+            col: 2,
+            dims: (36, 36),
+        };
+        assert!(e.to_string().contains("36x36"));
+        assert!(!ArrayError::NoClosedLoop.to_string().is_empty());
+        assert!(ArrayError::MultipleLoops { count: 2 }.to_string().contains('2'));
+        assert!(ArrayError::SensorOutOfRange { index: 16, len: 16 }
+            .to_string()
+            .contains("16"));
+    }
+}

@@ -1,0 +1,302 @@
+//! Switch-matrix programming and the 4-bit sensor-select decoder.
+//!
+//! The lattice state is one bit per crossing (1296 bits on the test
+//! chip). The chip exposes a fully combinational decoder (Fig 2) that
+//! maps the 4-bit `PSA_sel` bus to one of the 16 preset sensor
+//! programmings; arbitrary programmings remain available to the host.
+
+use crate::error::ArrayError;
+use crate::lattice::Lattice;
+use serde::{Deserialize, Serialize};
+
+/// The programmable switch state of a lattice.
+///
+/// # Example
+///
+/// ```
+/// use psa_array::lattice::Lattice;
+/// use psa_array::program::SwitchMatrix;
+///
+/// let lattice = Lattice::date24();
+/// let mut m = SwitchMatrix::new(&lattice);
+/// m.close(3, 5)?;
+/// assert!(m.is_closed(3, 5)?);
+/// assert_eq!(m.closed_count(), 1);
+/// m.clear();
+/// assert_eq!(m.closed_count(), 0);
+/// # Ok::<(), psa_array::ArrayError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwitchMatrix {
+    rows: usize,
+    cols: usize,
+    bits: Vec<bool>,
+}
+
+impl SwitchMatrix {
+    /// All switches open.
+    pub fn new(lattice: &Lattice) -> Self {
+        SwitchMatrix {
+            rows: lattice.rows(),
+            cols: lattice.cols(),
+            bits: vec![false; lattice.switch_count()],
+        }
+    }
+
+    /// Lattice dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Closes the switch at `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::NodeOutOfRange`] outside the lattice.
+    pub fn close(&mut self, row: usize, col: usize) -> Result<(), ArrayError> {
+        let i = self.index(row, col)?;
+        self.bits[i] = true;
+        Ok(())
+    }
+
+    /// Opens the switch at `(row, col)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::NodeOutOfRange`] outside the lattice.
+    pub fn open(&mut self, row: usize, col: usize) -> Result<(), ArrayError> {
+        let i = self.index(row, col)?;
+        self.bits[i] = false;
+        Ok(())
+    }
+
+    /// Whether the switch at `(row, col)` is closed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::NodeOutOfRange`] outside the lattice.
+    pub fn is_closed(&self, row: usize, col: usize) -> Result<bool, ArrayError> {
+        Ok(self.bits[self.index(row, col)?])
+    }
+
+    /// Opens every switch.
+    pub fn clear(&mut self) {
+        self.bits.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Number of closed switches.
+    pub fn closed_count(&self) -> usize {
+        self.bits.iter().filter(|&&b| b).count()
+    }
+
+    /// Coordinates of all closed switches, row-major order.
+    pub fn closed_switches(&self) -> Vec<(usize, usize)> {
+        self.bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some((i / self.cols, i % self.cols)))
+            .collect()
+    }
+
+    /// Programs a rectangle: closes the four corner switches
+    /// `(r0,c0)-(r0,c1)-(r1,c1)-(r1,c0)`, forming one rectangular coil.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArrayError::InvalidParameter`] for a degenerate
+    /// rectangle or [`ArrayError::NodeOutOfRange`] outside the lattice.
+    pub fn program_rectangle(
+        &mut self,
+        r0: usize,
+        c0: usize,
+        r1: usize,
+        c1: usize,
+    ) -> Result<(), ArrayError> {
+        if r0 == r1 || c0 == c1 {
+            return Err(ArrayError::InvalidParameter {
+                what: "rectangle corners must differ in both axes",
+            });
+        }
+        self.close(r0, c0)?;
+        self.close(r0, c1)?;
+        self.close(r1, c1)?;
+        self.close(r1, c0)?;
+        Ok(())
+    }
+
+    fn index(&self, row: usize, col: usize) -> Result<usize, ArrayError> {
+        if row >= self.rows || col >= self.cols {
+            return Err(ArrayError::NodeOutOfRange {
+                row,
+                col,
+                dims: (self.rows, self.cols),
+            });
+        }
+        Ok(row * self.cols + col)
+    }
+}
+
+/// Node-rectangle of one preset sensor: `(r0, c0, r1, c1)`.
+pub type SensorNodes = (usize, usize, usize, usize);
+
+/// The 16 preset sensor node-rectangles of the test chip: a 4 × 4 grid
+/// of 12-segment-wide squares stepping by 8 (7 for the last) segments,
+/// giving the paper's ~33 % area overlap between neighbours. Index is
+/// row-major from the die's lower-left.
+pub fn date24_sensor_nodes() -> [SensorNodes; 16] {
+    let starts = [0usize, 8, 16, 23];
+    let mut out = [(0, 0, 0, 0); 16];
+    for (i, out_slot) in out.iter_mut().enumerate() {
+        let row = i / 4;
+        let col = i % 4;
+        let r0 = starts[row];
+        let c0 = starts[col];
+        *out_slot = (r0, c0, r0 + 12, c0 + 12);
+    }
+    out
+}
+
+/// Turns per preset sensor coil: the test chip's sensors are 6-turn
+/// spirals ("the green box represents the area of a 6-turn-coil
+/// sensor", Fig 2). Multi-turn winding senses the footprint uniformly —
+/// a single-turn loop is most sensitive right under its wire, which
+/// would defeat footprint-based localization.
+pub const SENSOR_TURNS: usize = 6;
+
+/// The fully combinational `PSA_sel[3:0]` decoder of Fig 2: programs the
+/// lattice for one of the 16 preset 6-turn sensors.
+///
+/// # Errors
+///
+/// Returns [`ArrayError::SensorOutOfRange`] when `sel` exceeds 15.
+///
+/// # Example
+///
+/// ```
+/// use psa_array::lattice::Lattice;
+/// use psa_array::program::{decode_psa_sel, SwitchMatrix, SENSOR_TURNS};
+///
+/// let lattice = Lattice::date24();
+/// let mut m = SwitchMatrix::new(&lattice);
+/// decode_psa_sel(&mut m, 10)?; // select sensor 10
+/// assert_eq!(m.closed_count(), 4 * SENSOR_TURNS);
+/// # Ok::<(), psa_array::ArrayError>(())
+/// ```
+pub fn decode_psa_sel(matrix: &mut SwitchMatrix, sel: u8) -> Result<(), ArrayError> {
+    if sel > 15 {
+        return Err(ArrayError::SensorOutOfRange {
+            index: sel as usize,
+            len: 16,
+        });
+    }
+    let (r0, c0, r1, c1) = date24_sensor_nodes()[sel as usize];
+    matrix.clear();
+    crate::coil::program_spiral(matrix, r0, c0, r1, c1, SENSOR_TURNS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> SwitchMatrix {
+        SwitchMatrix::new(&Lattice::date24())
+    }
+
+    #[test]
+    fn open_close_roundtrip() {
+        let mut m = matrix();
+        assert!(!m.is_closed(10, 20).unwrap());
+        m.close(10, 20).unwrap();
+        assert!(m.is_closed(10, 20).unwrap());
+        m.open(10, 20).unwrap();
+        assert!(!m.is_closed(10, 20).unwrap());
+    }
+
+    #[test]
+    fn closed_switches_enumerated_in_order() {
+        let mut m = matrix();
+        m.close(2, 3).unwrap();
+        m.close(0, 7).unwrap();
+        m.close(2, 1).unwrap();
+        assert_eq!(m.closed_switches(), vec![(0, 7), (2, 1), (2, 3)]);
+        assert_eq!(m.closed_count(), 3);
+    }
+
+    #[test]
+    fn rectangle_closes_four_corners() {
+        let mut m = matrix();
+        m.program_rectangle(4, 6, 10, 20).unwrap();
+        assert_eq!(m.closed_count(), 4);
+        for (r, c) in [(4, 6), (4, 20), (10, 20), (10, 6)] {
+            assert!(m.is_closed(r, c).unwrap());
+        }
+    }
+
+    #[test]
+    fn degenerate_rectangle_rejected() {
+        let mut m = matrix();
+        assert!(m.program_rectangle(4, 6, 4, 20).is_err());
+        assert!(m.program_rectangle(4, 6, 10, 6).is_err());
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut m = matrix();
+        assert!(m.close(36, 0).is_err());
+        assert!(m.open(0, 36).is_err());
+        assert!(m.is_closed(99, 99).is_err());
+        assert!(m.program_rectangle(0, 0, 36, 5).is_err());
+    }
+
+    #[test]
+    fn preset_sensors_are_12_wide_with_overlap() {
+        let nodes = date24_sensor_nodes();
+        for (r0, c0, r1, c1) in nodes {
+            assert_eq!(r1 - r0, 12);
+            assert_eq!(c1 - c0, 12);
+            assert!(r1 <= 35 && c1 <= 35);
+        }
+        // Horizontal neighbours overlap by 4 of 12 segments (33 %).
+        let a = nodes[0];
+        let b = nodes[1];
+        assert_eq!(a.3 - b.1, 4);
+    }
+
+    #[test]
+    fn decoder_selects_each_sensor() {
+        let mut m = matrix();
+        for sel in 0..16u8 {
+            decode_psa_sel(&mut m, sel).unwrap();
+            assert_eq!(m.closed_count(), 4 * SENSOR_TURNS, "sensor {sel}");
+            let (r0, c0, r1, c1) = date24_sensor_nodes()[sel as usize];
+            // Outer-turn corners always present (the spiral's top-left
+            // is the crossover side, so (r0, c0) itself stays open).
+            assert!(m.is_closed(r0, c1).unwrap());
+            assert!(m.is_closed(r1, c1).unwrap());
+            assert!(m.is_closed(r1, c0).unwrap());
+        }
+        assert!(decode_psa_sel(&mut m, 16).is_err());
+    }
+
+    #[test]
+    fn decoder_clears_previous_selection() {
+        let mut m = matrix();
+        decode_psa_sel(&mut m, 0).unwrap();
+        decode_psa_sel(&mut m, 15).unwrap();
+        assert_eq!(m.closed_count(), 4 * SENSOR_TURNS);
+        // Sensor 0's corner must be open again.
+        assert!(!m.is_closed(0, 0).unwrap());
+    }
+
+    #[test]
+    fn sensor_10_covers_die_center() {
+        // Row-major index 10 = (row 2, col 2): nodes 16..28 → µm 457..800.
+        let (r0, c0, r1, c1) = date24_sensor_nodes()[10];
+        assert_eq!((r0, c0, r1, c1), (16, 16, 28, 28));
+        let l = Lattice::date24();
+        let p0 = l.node_position(r0, c0).unwrap();
+        let p1 = l.node_position(r1, c1).unwrap();
+        assert!(p0.x < 500.0 && p1.x > 700.0);
+        assert!(p0.y < 500.0 && p1.y > 700.0);
+    }
+}

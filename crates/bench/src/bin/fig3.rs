@@ -1,0 +1,6 @@
+//! Regenerates Fig 3 — PSA vs external-probe spectrum magnitude.
+fn main() {
+    println!("== Fig 3: spectrum magnitude, PSA vs external EM probe ==");
+    let chip = psa_bench::experiments::build_chip();
+    print!("{}", psa_bench::experiments::fig3_report(&chip));
+}

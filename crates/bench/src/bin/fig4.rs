@@ -1,0 +1,6 @@
+//! Regenerates Fig 4 — per-sensor spectra with each Trojan active.
+fn main() {
+    println!("== Fig 4: emergent sideband components, sensors 10 and 0 ==");
+    let chip = psa_bench::experiments::build_chip();
+    print!("{}", psa_bench::experiments::fig4_table(&chip).render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig 5 — zero-span envelopes and Trojan identification.
+fn main() {
+    println!("== Fig 5: zero-span time-domain identification at 48 MHz ==");
+    let chip = psa_bench::experiments::build_chip();
+    print!("{}", psa_bench::experiments::fig5_report(&chip));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Sec. VI-D — mean time to detect.
+fn main() {
+    println!("== Sec. VI-D: run-time MTTD ==");
+    let chip = psa_bench::experiments::build_chip();
+    print!("{}", psa_bench::experiments::mttd_table(&chip).render());
+}

@@ -1,0 +1,21 @@
+//! Runs every table/figure regeneration in sequence (the EXPERIMENTS.md
+//! source of truth).
+fn main() {
+    let chip = psa_bench::experiments::build_chip();
+    println!("== Table II: Trojan gates count and percentage ==");
+    print!("{}", psa_bench::experiments::table2().render());
+    println!("\n== SNR comparison (Sec. VI-B, Eq. 1) ==");
+    print!("{}", psa_bench::experiments::snr_table(&chip).render());
+    println!("\n== Fig 3: spectrum magnitude, PSA vs external EM probe ==");
+    print!("{}", psa_bench::experiments::fig3_report(&chip));
+    println!("\n== Fig 4: emergent sideband components, sensors 10 and 0 ==");
+    print!("{}", psa_bench::experiments::fig4_table(&chip).render());
+    println!("\n== Fig 5: zero-span time-domain identification at 48 MHz ==");
+    print!("{}", psa_bench::experiments::fig5_report(&chip));
+    println!("\n== Sec. VI-C: sensor impedance across V/T corners ==");
+    print!("{}", psa_bench::experiments::vt_table().render());
+    println!("\n== Sec. VI-D: run-time MTTD ==");
+    print!("{}", psa_bench::experiments::mttd_table(&chip).render());
+    println!("\n== Table I: comparison of EM side-channel methods ==");
+    print!("{}", psa_bench::experiments::table1(&chip, 2).render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the Sec. VI-B SNR comparison.
+fn main() {
+    println!("== SNR comparison (Sec. VI-B, Eq. 1) ==");
+    let chip = psa_bench::experiments::build_chip();
+    print!("{}", psa_bench::experiments::snr_table(&chip).render());
+}

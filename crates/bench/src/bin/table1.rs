@@ -1,0 +1,6 @@
+//! Regenerates Table I — comparison of EM side-channel methods.
+fn main() {
+    println!("== Table I: comparison of EM side-channel data collection methods ==");
+    let chip = psa_bench::experiments::build_chip();
+    print!("{}", psa_bench::experiments::table1(&chip, 2).render());
+}

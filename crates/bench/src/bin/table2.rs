@@ -1,0 +1,5 @@
+//! Regenerates Table II — Trojan gate counts and area percentages.
+fn main() {
+    println!("== Table II: Trojan gates count and percentage ==");
+    print!("{}", psa_bench::experiments::table2().render());
+}

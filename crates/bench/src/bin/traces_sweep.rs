@@ -1,0 +1,91 @@
+//! Detection probability vs trace budget — the experiment behind
+//! Table I's "Measurement #" row.
+//!
+//! ```text
+//! cargo run --release -p psa-bench --bin traces_sweep
+//! ```
+//!
+//! The PSA detector is run with 1–5 traces; the single-coil Euclidean
+//! baseline with growing trace budgets. The PSA detects every Trojan at
+//! its smallest budget, while the baseline's verdict on the small Trojan
+//! T3 stays negative no matter how many traces it spends (its per-trace
+//! discriminability, not statistics, is the binding constraint).
+
+use psa_core::acquisition::Acquisition;
+use psa_core::chip::{SensorSelect, TestChip};
+use psa_core::cross_domain::CrossDomainAnalyzer;
+use psa_core::detector::{Detector, EuclideanDetector};
+use psa_core::report::Table;
+use psa_core::scenario::Scenario;
+use psa_dsp::peak;
+use psa_gatesim::trojan::TrojanKind;
+
+fn main() {
+    println!("== Detection vs trace budget (Table I, 'Measurement #') ==");
+    let chip = TestChip::date24();
+    psa_sweep(&chip);
+    println!();
+    baseline_sweep(&chip);
+}
+
+/// PSA: single-sensor detection decision with 1..=5 traces.
+fn psa_sweep(chip: &TestChip) {
+    let acq = Acquisition::new(chip);
+    let analyzer = CrossDomainAnalyzer::new(chip);
+    let baseline = analyzer.learn_baseline(0xBA5E);
+    let base_env =
+        psa_dsp::peak::local_max_envelope(&baseline.per_sensor_db[10], 8);
+
+    let mut t = Table::new(vec![
+        "traces".into(),
+        "T1".into(),
+        "T2".into(),
+        "T3".into(),
+        "T4".into(),
+    ]);
+    for n in [1usize, 2, 3, 5] {
+        let mut row = vec![n.to_string()];
+        for kind in TrojanKind::ALL {
+            let scenario = Scenario::trojan_active(kind).with_seed(600);
+            let traces = acq
+                .acquire(&scenario, SensorSelect::Psa(10), n)
+                .expect("acquire");
+            let spec = acq.fullres_spectrum_db(&traces).expect("spectrum");
+            let hits = peak::excess_over_baseline_db(&spec, &base_env, 10.0);
+            row.push(if hits.is_empty() { "miss" } else { "DETECT" }.into());
+        }
+        t.row(row);
+    }
+    println!("PSA (sensor 10 watch):");
+    print!("{}", t.render());
+}
+
+/// Single-coil Euclidean baseline with growing budgets.
+fn baseline_sweep(chip: &TestChip) {
+    let mut t = Table::new(vec![
+        "traces (ref+test)".into(),
+        "T1".into(),
+        "T2".into(),
+        "T3".into(),
+        "T4".into(),
+    ]);
+    for per_side in [10usize, 30, 60, 120] {
+        let det = EuclideanDetector::single_coil(per_side);
+        let mut row = vec![format!("{}", 2 * per_side)];
+        for kind in TrojanKind::ALL {
+            let out = det
+                .detect(chip, &Scenario::trojan_active(kind).with_seed(600))
+                .expect("detect");
+            row.push(if out.detected { "DETECT" } else { "miss" }.into());
+        }
+        t.row(row);
+    }
+    println!("single on-chip coil + Euclidean statistics:");
+    print!("{}", t.render());
+    println!(
+        "(T3 stays undetected once the reference spread is well estimated —\n \
+         per-trace SNR, not statistics, is the binding constraint; verdicts at\n \
+         tiny budgets are unstable because the 3-sigma threshold itself is\n \
+         noisy. The paper's Table I reports the same shape.)"
+    );
+}

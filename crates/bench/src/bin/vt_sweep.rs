@@ -1,0 +1,5 @@
+//! Regenerates Sec. VI-C — supply-voltage and temperature robustness.
+fn main() {
+    println!("== Sec. VI-C: sensor impedance across V/T corners ==");
+    print!("{}", psa_bench::experiments::vt_table().render());
+}

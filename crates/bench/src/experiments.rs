@@ -1,0 +1,550 @@
+//! Shared experiment drivers behind the reproduction binaries and
+//! Criterion benches. Each function regenerates one artifact of the
+//! paper's evaluation section and returns printable rows.
+
+use psa_core::acquisition::Acquisition;
+use psa_core::chip::{SensorSelect, TestChip};
+use psa_core::cross_domain::{Baseline, CrossDomainAnalyzer};
+use psa_core::detector::{
+    BackscatterDetector, CrossDomainDetector, Detector, EuclideanDetector,
+};
+use psa_core::mttd::{mttd_trial, MonitorTiming};
+use psa_core::report::{db, mhz, pct, sparkline, yes_no, Table};
+use psa_core::scenario::Scenario;
+use psa_core::snr::snr_comparison;
+use psa_core::{calib, identify};
+use psa_gatesim::trojan::TrojanKind;
+
+/// Builds the shared chip once (expensive: placement + coupling
+/// matrices).
+pub fn build_chip() -> TestChip {
+    TestChip::date24()
+}
+
+// ---------------------------------------------------------------------
+// Table II — Trojan cell counts (cheap, exact).
+// ---------------------------------------------------------------------
+
+/// Regenerates Table II.
+pub fn table2() -> Table {
+    let fp = psa_layout::floorplan::Floorplan::date24_test_chip();
+    let mut t = Table::new(vec![
+        "circuit".into(),
+        "standard cells".into(),
+        "percentage".into(),
+        "paper".into(),
+    ]);
+    let paper = [
+        ("Overall", "100%"),
+        ("T1", "6.52%"),
+        ("T2", "7.40%"),
+        ("T3", "1.14%"),
+        ("T4", "7.57%"),
+    ];
+    for ((label, count, pct_v), (_, paper_pct)) in
+        fp.gate_count_table().into_iter().zip(paper)
+    {
+        t.row(vec![
+            label,
+            count.to_string(),
+            format!("{pct_v:.2}%"),
+            paper_pct.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// SNR comparison (Sec. VI-B) — feeds Table I's SNR row too.
+// ---------------------------------------------------------------------
+
+/// SNR rows: `(label, measured_db, paper_db)`.
+pub fn snr_rows(chip: &TestChip) -> Vec<(String, f64, f64)> {
+    let rows = snr_comparison(chip, 3).expect("snr comparison");
+    rows.into_iter()
+        .map(|m| {
+            let paper = match m.sensor {
+                SensorSelect::Psa(_) => 41.0,
+                SensorSelect::SingleCoil => 30.5,
+                SensorSelect::IcrHh100 => 34.0,
+                SensorSelect::LangerLf1 => 14.3,
+            };
+            (m.label, m.snr_db, paper)
+        })
+        .collect()
+}
+
+/// Renders the SNR comparison table.
+pub fn snr_table(chip: &TestChip) -> Table {
+    let mut t = Table::new(vec![
+        "sensing method".into(),
+        "measured SNR".into(),
+        "paper SNR".into(),
+    ]);
+    for (label, measured, paper) in snr_rows(chip) {
+        t.row(vec![label, db(measured), db(paper)]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Table I — method comparison.
+// ---------------------------------------------------------------------
+
+/// One Table I column, measured.
+#[derive(Debug, Clone)]
+pub struct MethodSummary {
+    /// Method name.
+    pub name: String,
+    /// Detection rate over the campaign (all four Trojans).
+    pub detection_rate: f64,
+    /// Whether the method localizes.
+    pub localization: bool,
+    /// Traces consumed per decision.
+    pub measurements: usize,
+    /// Eq. (1) SNR of the method's sensing structure, dB.
+    pub snr_db: f64,
+    /// Run-time feasible?
+    pub runtime: bool,
+}
+
+/// Runs the Table I comparison campaign.
+///
+/// `seeds_per_trojan` controls the campaign size (the binary uses 3;
+/// tests may use 1).
+pub fn table1_campaign(chip: &TestChip, seeds_per_trojan: usize) -> Vec<MethodSummary> {
+    let snr = snr_rows(chip);
+    let snr_of = |s: &str| {
+        snr.iter()
+            .find(|(l, _, _)| l.contains(s))
+            .map(|(_, v, _)| *v)
+            .unwrap_or(f64::NAN)
+    };
+
+    let cross = CrossDomainDetector::new(chip, 0xBA5E);
+    let euclid_probe = EuclideanDetector::external_probe(60);
+    let euclid_coil = EuclideanDetector::single_coil(60);
+    let backscatter = BackscatterDetector::default();
+
+    let mut summaries = Vec::new();
+    let detectors: [(&dyn Detector, f64, usize); 4] = [
+        (&cross, snr_of("PSA"), 2 * calib::TRACES_PER_SPECTRUM),
+        (&euclid_probe, snr_of("LF1"), 2 * 60),
+        (&euclid_coil, snr_of("single"), 2 * 60),
+        (&backscatter, f64::NAN, 100),
+    ];
+    for (det, snr_db, measurements) in detectors {
+        let mut detections = 0usize;
+        let mut trials = 0usize;
+        for kind in TrojanKind::ALL {
+            for s in 0..seeds_per_trojan {
+                let scenario =
+                    Scenario::trojan_active(kind).with_seed(7000 + s as u64 * 31);
+                let outcome = det
+                    .detect(chip, &scenario)
+                    .expect("detector runs on built-in chip");
+                trials += 1;
+                if outcome.detected {
+                    detections += 1;
+                }
+            }
+        }
+        summaries.push(MethodSummary {
+            name: det.name().to_string(),
+            detection_rate: detections as f64 / trials as f64,
+            localization: det.can_localize(),
+            measurements,
+            snr_db,
+            runtime: matches!(
+                det.name(),
+                n if n.contains("PSA") || n.contains("single")
+            ),
+        });
+    }
+    summaries
+}
+
+/// Renders Table I.
+pub fn table1(chip: &TestChip, seeds_per_trojan: usize) -> Table {
+    let mut t = Table::new(vec![
+        "feature".into(),
+        "external probe".into(),
+        "backscatter".into(),
+        "single coil".into(),
+        "PSA (this work)".into(),
+    ]);
+    let s = table1_campaign(chip, seeds_per_trojan);
+    let by = |needle: &str| {
+        s.iter()
+            .find(|m| m.name.contains(needle))
+            .expect("method present")
+    };
+    let probe = by("external");
+    let back = by("backscatter");
+    let coil = by("single");
+    let psa = by("PSA");
+    t.row(vec![
+        "HT detection rate".into(),
+        pct(probe.detection_rate),
+        pct(back.detection_rate),
+        pct(coil.detection_rate),
+        pct(psa.detection_rate),
+    ]);
+    t.row(vec![
+        "HT localization".into(),
+        yes_no(probe.localization),
+        yes_no(back.localization),
+        yes_no(coil.localization),
+        yes_no(psa.localization),
+    ]);
+    t.row(vec![
+        "measurement #".into(),
+        probe.measurements.to_string(),
+        back.measurements.to_string(),
+        coil.measurements.to_string(),
+        format!("<{}", psa.measurements),
+    ]);
+    t.row(vec![
+        "SNR".into(),
+        db(probe.snr_db),
+        "n/a".into(),
+        db(coil.snr_db),
+        db(psa.snr_db),
+    ]);
+    t.row(vec![
+        "run-time analysis".into(),
+        yes_no(probe.runtime),
+        yes_no(back.runtime),
+        yes_no(coil.runtime),
+        yes_no(psa.runtime),
+    ]);
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig 3 — PSA vs external probe spectrum magnitude.
+// ---------------------------------------------------------------------
+
+/// Fig 3 series: `(psa_db, probe_db, diff_db)`, each 2000 points.
+pub fn fig3_series(chip: &TestChip) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let acq = Acquisition::new(chip);
+    let scenario = Scenario::baseline().with_seed(333);
+    let psa = acq
+        .averaged_spectrum_db(&scenario, SensorSelect::Psa(10))
+        .expect("psa spectrum");
+    let probe = acq
+        .averaged_spectrum_db(&scenario, SensorSelect::LangerLf1)
+        .expect("probe spectrum");
+    let diff: Vec<f64> = psa.iter().zip(&probe).map(|(a, b)| a - b).collect();
+    (psa, probe, diff)
+}
+
+/// Renders Fig 3 as sparklines plus the headline numbers.
+pub fn fig3_report(chip: &TestChip) -> String {
+    let (psa, probe, diff) = fig3_series(chip);
+    let max_diff = diff.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "PSA spectrum      (dB): {}\n",
+        sparkline(&psa, 80)
+    ));
+    out.push_str(&format!(
+        "external probe    (dB): {}\n",
+        sparkline(&probe, 80)
+    ));
+    out.push_str(&format!(
+        "PSA - probe       (dB): {}\n",
+        sparkline(&diff, 80)
+    ));
+    out.push_str(&format!(
+        "max PSA advantage: {:.1} dB (paper: up to 55 dB)\n",
+        max_diff
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Fig 4 — per-sensor spectra with Trojans active/inactive.
+// ---------------------------------------------------------------------
+
+/// One Fig 4 panel: excesses at the two sideband frequencies.
+#[derive(Debug, Clone)]
+pub struct Fig4Panel {
+    /// Trojan activated.
+    pub trojan: TrojanKind,
+    /// Sensor measured.
+    pub sensor: usize,
+    /// Emergent excess at 48 MHz, dB.
+    pub excess_48_db: f64,
+    /// Emergent excess at 84 MHz, dB.
+    pub excess_84_db: f64,
+}
+
+/// Measures all Fig 4 panels (sensors 10 and 0, each Trojan).
+pub fn fig4_panels(chip: &TestChip) -> Vec<Fig4Panel> {
+    let acq = Acquisition::new(chip);
+    let spec_of = |scen: &Scenario, s: usize| {
+        let t = acq
+            .acquire(scen, SensorSelect::Psa(s), calib::TRACES_PER_SPECTRUM)
+            .expect("acquire");
+        acq.fullres_spectrum_db(&t).expect("spectrum")
+    };
+    let mut panels = Vec::new();
+    for sensor in [10usize, 0] {
+        let base = spec_of(&Scenario::baseline().with_seed(41), sensor);
+        for kind in TrojanKind::ALL {
+            let act = spec_of(&Scenario::trojan_active(kind).with_seed(42), sensor);
+            let excess = |f: f64| {
+                let b = acq.fullres_freq_bin(f);
+                (b - 3..=b + 3)
+                    .map(|k| act[k] - base[k])
+                    .fold(f64::MIN, f64::max)
+            };
+            panels.push(Fig4Panel {
+                trojan: kind,
+                sensor,
+                excess_48_db: excess(48.0e6),
+                excess_84_db: excess(84.0e6),
+            });
+        }
+    }
+    panels
+}
+
+/// Renders the Fig 4 table.
+pub fn fig4_table(chip: &TestChip) -> Table {
+    let mut t = Table::new(vec![
+        "panel".into(),
+        "sensor".into(),
+        "excess @48 MHz".into(),
+        "excess @84 MHz".into(),
+        "paper".into(),
+    ]);
+    for p in fig4_panels(chip) {
+        let paper = if p.sensor == 10 {
+            "prominent components"
+        } else {
+            "hardly any difference"
+        };
+        t.row(vec![
+            format!("{} active", p.trojan),
+            p.sensor.to_string(),
+            db(p.excess_48_db),
+            db(p.excess_84_db),
+            paper.to_string(),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------
+// Fig 5 — zero-span envelopes and identification.
+// ---------------------------------------------------------------------
+
+/// One Fig 5 panel: the envelope sparkline plus the verdict.
+#[derive(Debug, Clone)]
+pub struct Fig5Panel {
+    /// Trojan activated.
+    pub trojan: TrojanKind,
+    /// Zero-span envelope at 48 MHz (identification RBW).
+    pub envelope: Vec<f64>,
+    /// The classifier's verdict.
+    pub identified: TrojanKind,
+    /// Template distance.
+    pub distance: f64,
+}
+
+/// Measures the four Fig 5 panels through the full analyzer.
+pub fn fig5_panels(chip: &TestChip) -> Vec<Fig5Panel> {
+    let acq = Acquisition::new(chip);
+    let analyzer = CrossDomainAnalyzer::new(chip);
+    let baseline = analyzer.learn_baseline(0xF15);
+    let mut panels = Vec::new();
+    for kind in TrojanKind::ALL {
+        let scenario = Scenario::trojan_active(kind).with_seed(555 + kind.index() as u64);
+        let verdict = analyzer
+            .analyze(&scenario, &baseline)
+            .expect("analysis succeeds");
+        let envelope = acq
+            .zero_span_rbw(
+                &scenario,
+                SensorSelect::Psa(verdict.localized_sensor.unwrap_or(10)),
+                verdict.prominent_freq_hz.unwrap_or(48.0e6),
+                calib::IDENTIFY_RBW_HZ,
+                6,
+            )
+            .expect("zero span");
+        panels.push(Fig5Panel {
+            trojan: kind,
+            envelope,
+            identified: verdict.identified.unwrap_or(kind),
+            distance: verdict.identification_distance.unwrap_or(f64::NAN),
+        });
+    }
+    panels
+}
+
+/// Renders the Fig 5 report: envelopes and classification outcome.
+pub fn fig5_report(chip: &TestChip) -> String {
+    let panels = fig5_panels(chip);
+    let mut out = String::new();
+    let mut correct = 0;
+    for p in &panels {
+        out.push_str(&format!(
+            "{} active  envelope: {}  -> identified {} (distance {:.2})\n",
+            p.trojan,
+            sparkline(&p.envelope, 64),
+            p.identified,
+            p.distance
+        ));
+        if p.identified == p.trojan {
+            correct += 1;
+        }
+    }
+    out.push_str(&format!(
+        "identification: {correct}/4 correct (paper: all four classified)\n"
+    ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Sec. VI-C — supply-voltage and temperature sweeps.
+// ---------------------------------------------------------------------
+
+/// V/T sweep rows: `(corner label, |Z| dB)` plus spreads.
+pub fn vt_sweep() -> (Vec<(String, f64)>, f64, f64) {
+    use psa_array::coil::extract_coil;
+    use psa_array::impedance::{
+        sweep_spread_db, temperature_sweep_db, voltage_sweep_db,
+    };
+    use psa_array::lattice::Lattice;
+    use psa_array::program::{decode_psa_sel, SwitchMatrix};
+    use psa_array::tgate::TGate;
+
+    let lattice = Lattice::date24();
+    let mut m = SwitchMatrix::new(&lattice);
+    decode_psa_sel(&mut m, 10).expect("sensor 10 programs");
+    let coil = extract_coil(&lattice, &m).expect("sensor 10 extracts");
+    let tgate = TGate::date24();
+
+    let v_sweep = voltage_sweep_db(
+        &coil,
+        &tgate,
+        48.0e6,
+        25.0,
+        &[0.8, 0.9, 1.0, 1.1, 1.2],
+    );
+    let t_sweep = temperature_sweep_db(
+        &coil,
+        &tgate,
+        48.0e6,
+        1.0,
+        &[-40.0, 0.0, 25.0, 85.0, 125.0],
+    );
+    let v_spread = sweep_spread_db(&v_sweep);
+    let t_spread = sweep_spread_db(&t_sweep);
+    let mut rows = Vec::new();
+    for (v, z) in v_sweep {
+        rows.push((format!("{v:.1} V, 25 C"), z));
+    }
+    for (tc, z) in t_sweep {
+        rows.push((format!("1.0 V, {tc:.0} C"), z));
+    }
+    (rows, v_spread, t_spread)
+}
+
+/// Renders the V/T sweep table.
+pub fn vt_table() -> Table {
+    let (rows, v_spread, t_spread) = vt_sweep();
+    let mut t = Table::new(vec!["corner".into(), "|Z| at 48 MHz".into()]);
+    for (label, z) in rows {
+        t.row(vec![label, format!("{z:.2} dB-ohm")]);
+    }
+    t.row(vec![
+        "voltage spread (paper ~4 dB)".into(),
+        db(v_spread),
+    ]);
+    t.row(vec![
+        "temperature spread (paper ~4 dB)".into(),
+        db(t_spread),
+    ]);
+    t
+}
+
+// ---------------------------------------------------------------------
+// Sec. VI-D — MTTD.
+// ---------------------------------------------------------------------
+
+/// MTTD rows per Trojan: `(trojan, detected, time_ms, traces)`.
+pub fn mttd_rows(chip: &TestChip, baseline: &Baseline) -> Vec<(TrojanKind, bool, f64, usize)> {
+    let timing = MonitorTiming::default();
+    TrojanKind::ALL
+        .iter()
+        .map(|&kind| {
+            let scenario = Scenario::trojan_active(kind).with_seed(888);
+            let r = mttd_trial(chip, &scenario, baseline, 10, &timing, 64)
+                .expect("mttd trial");
+            (kind, r.detected, r.time_to_detect_s * 1e3, r.traces_used)
+        })
+        .collect()
+}
+
+/// Renders the MTTD table (plus the baseline-method latency context).
+pub fn mttd_table(chip: &TestChip) -> Table {
+    let analyzer = CrossDomainAnalyzer::new(chip);
+    let baseline = analyzer.learn_baseline(0xBA5E);
+    let mut t = Table::new(vec![
+        "trojan".into(),
+        "detected".into(),
+        "MTTD".into(),
+        "traces".into(),
+        "paper".into(),
+    ]);
+    for (kind, detected, ms, traces) in mttd_rows(chip, &baseline) {
+        t.row(vec![
+            kind.to_string(),
+            yes_no(detected),
+            format!("{ms:.2} ms"),
+            traces.to_string(),
+            "<10 ms, <10 traces".into(),
+        ]);
+    }
+    let b10k = psa_core::mttd::baseline_latency_s(10_000, 1.0e-3);
+    let b100 = psa_core::mttd::baseline_latency_s(100, 1.0e-3);
+    t.row(vec![
+        "single coil (>10k traces)".into(),
+        "-".into(),
+        format!("{:.1} s", b10k),
+        "10000".into(),
+        ">10,000 measurements".into(),
+    ]);
+    t.row(vec![
+        "backscatter (100 traces)".into(),
+        "-".into(),
+        format!("{:.2} s", b100),
+        "100".into(),
+        "100 measurements".into(),
+    ]);
+    t
+}
+
+/// Convenience for the `mhz` formatter used by binaries.
+pub fn format_freq(hz: f64) -> String {
+    mhz(hz)
+}
+
+/// Identification-related helper re-export for benches.
+pub fn classify_once(chip: &TestChip) -> TrojanKind {
+    let analyzer = CrossDomainAnalyzer::new(chip);
+    let baseline = analyzer.learn_baseline(1);
+    analyzer
+        .analyze(&Scenario::trojan_active(TrojanKind::T1).with_seed(2), &baseline)
+        .expect("analyze")
+        .identified
+        .unwrap_or(TrojanKind::T1)
+}
+
+/// Quick feature-extraction helper for benches.
+pub fn bench_feature_extraction(envelope: &[f64]) -> identify::EnvelopeFeatures {
+    identify::extract_features(envelope, 8.25e6).expect("envelope long enough")
+}

@@ -1,0 +1,27 @@
+//! Reproduction harness for the PSA paper's tables and figures.
+//!
+//! Each binary in this crate regenerates one artifact of the paper's
+//! evaluation section and prints the same rows/series the paper reports:
+//!
+//! | binary        | paper artifact                                        |
+//! |---------------|-------------------------------------------------------|
+//! | `table1`      | Table I — method comparison                           |
+//! | `table2`      | Table II — Trojan cell counts and area percentages    |
+//! | `fig3`        | Fig 3 — PSA vs external-probe spectrum magnitude      |
+//! | `fig4`        | Fig 4 — sensor 10 / sensor 0 spectra per Trojan       |
+//! | `fig5`        | Fig 5 — zero-span envelopes and identification        |
+//! | `snr_compare` | Sec. VI-B — SNR of PSA / probes / single coil         |
+//! | `vt_sweep`    | Sec. VI-C — supply-voltage and temperature robustness |
+//! | `mttd`        | Sec. VI-D — traces-to-detect and MTTD                 |
+//! | `repro_all`   | runs everything above in sequence                     |
+//!
+//! The Criterion benches (one per table/figure) measure the hot pipeline
+//! behind the corresponding artifact.
+//!
+//! This library exposes the shared experiment drivers so the binaries and
+//! benches stay tiny.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

@@ -1,0 +1,331 @@
+//! The assembled simulated test chip.
+//!
+//! [`TestChip`] glues every substrate together: the Fig 2 floorplan and
+//! placement (`psa-layout`), the PSA lattice with its 16-sensor preset
+//! (`psa-array`), the EM coupling matrices for the PSA sensors and all
+//! baseline probes (`psa-field`), and the per-channel analog front end
+//! (`psa-analog`). Building the couplings is the expensive step, so a
+//! chip is built once and shared across experiments.
+
+use crate::calib;
+use crate::error::CoreError;
+use psa_array::sensors::SensorBank;
+use psa_array::tgate::TGate;
+use psa_field::coupling::CouplingMatrix;
+use psa_field::probe::ProbeModel;
+use psa_gatesim::activity::Source;
+use psa_layout::floorplan::{Floorplan, ModuleKind};
+use psa_layout::placement::{cluster_cells, place_floorplan, Cluster};
+use psa_layout::{Point, Polygon};
+
+/// Which sensing structure a measurement uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SensorSelect {
+    /// One of the 16 PSA sensors.
+    Psa(usize),
+    /// The whole-die single coil of He et al. (DAC'20).
+    SingleCoil,
+    /// The Langer LF1 external probe.
+    LangerLf1,
+    /// The ICR HH100-6 external micro probe.
+    IcrHh100,
+}
+
+impl SensorSelect {
+    /// All baseline (non-PSA) selections.
+    pub const BASELINES: [SensorSelect; 3] = [
+        SensorSelect::SingleCoil,
+        SensorSelect::LangerLf1,
+        SensorSelect::IcrHh100,
+    ];
+}
+
+/// The assembled test chip.
+///
+/// # Example
+///
+/// ```no_run
+/// use psa_core::chip::TestChip;
+/// let chip = TestChip::date24();
+/// assert_eq!(chip.sensor_bank().len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TestChip {
+    floorplan: Floorplan,
+    sensor_bank: SensorBank,
+    tgate: TGate,
+    clusters_by_source: Vec<Vec<Cluster>>,
+    charges_fc: Vec<(Source, f64)>,
+    psa_couplings: CouplingMatrix,
+    probe_couplings: Vec<(SensorSelect, ProbeModel, Vec<f64>)>,
+}
+
+impl TestChip {
+    /// Builds the DATE'24 test chip with default calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built-in floorplan/lattice constants are
+    /// inconsistent (a bug, covered by tests) — never on user input.
+    pub fn date24() -> Self {
+        Self::build().expect("built-in test chip constants are consistent")
+    }
+
+    fn build() -> Result<Self, CoreError> {
+        let floorplan = Floorplan::date24_test_chip();
+        let sensor_bank = SensorBank::date24_default();
+        let tgate = TGate::date24();
+
+        // Place and cluster the cells once.
+        let cells = place_floorplan(&floorplan, calib::PLACEMENT_SEED)?;
+        let all_clusters = cluster_cells(&cells, calib::CLUSTER_TILE_UM);
+        let clusters_by_source: Vec<Vec<Cluster>> = Source::ALL
+            .iter()
+            .map(|&s| {
+                let module = module_for_source(s);
+                all_clusters
+                    .iter()
+                    .filter(|c| c.module == module)
+                    .cloned()
+                    .collect()
+            })
+            .collect();
+
+        // Per-source mean switching charge from the module mixes.
+        let charges_fc: Vec<(Source, f64)> = Source::ALL
+            .iter()
+            .map(|&s| {
+                let module = module_for_source(s);
+                let q = floorplan
+                    .module(module)
+                    .map(|m| m.mix.mean_switching_charge_fc())
+                    .unwrap_or(2.5);
+                (s, q)
+            })
+            .collect();
+
+        // PSA sensor couplings at the M7/M8 plane.
+        let z_psa = floorplan.die().psa_plane_z_um();
+        let sensor_loops: Vec<Polygon> = sensor_bank
+            .iter()
+            .map(|s| s.coil().to_polygon())
+            .collect::<Result<_, _>>()?;
+        let psa_couplings =
+            CouplingMatrix::build(&clusters_by_source, &sensor_loops, z_psa)?;
+
+        // Baseline probes. The LF1 hovers over the package centre; the
+        // ICR micro probe is positioned over the core block (how an
+        // operator actually uses a 100 µm near-field probe).
+        let die = floorplan.die().outline();
+        let center = Point::new(die.center().x, die.center().y);
+        let core_center = floorplan
+            .module(ModuleKind::AesCore)
+            .map(|m| m.region.center())
+            .unwrap_or(center);
+        let mut probe_couplings = Vec::new();
+        for (select, probe) in [
+            (
+                SensorSelect::SingleCoil,
+                ProbeModel::single_coil_on_chip(die, z_psa),
+            ),
+            (SensorSelect::LangerLf1, ProbeModel::langer_lf1(center)),
+            (SensorSelect::IcrHh100, ProbeModel::icr_hh100_6(core_center)),
+        ] {
+            let m = CouplingMatrix::build(
+                &clusters_by_source,
+                std::slice::from_ref(&probe.loop_poly),
+                probe.z_um,
+            )?;
+            let col = m.sensor_column(0);
+            probe_couplings.push((select, probe, col));
+        }
+
+        Ok(TestChip {
+            floorplan,
+            sensor_bank,
+            tgate,
+            clusters_by_source,
+            charges_fc,
+            psa_couplings,
+            probe_couplings,
+        })
+    }
+
+    /// The floorplan.
+    pub fn floorplan(&self) -> &Floorplan {
+        &self.floorplan
+    }
+
+    /// The PSA sensor bank.
+    pub fn sensor_bank(&self) -> &SensorBank {
+        &self.sensor_bank
+    }
+
+    /// The T-gate model.
+    pub fn tgate(&self) -> &TGate {
+        &self.tgate
+    }
+
+    /// Per-source switching charges, fC per toggle, in
+    /// [`Source::ALL`] order.
+    pub fn charges_fc(&self) -> &[(Source, f64)] {
+        &self.charges_fc
+    }
+
+    /// EM source clusters grouped per activity source.
+    pub fn clusters_by_source(&self) -> &[Vec<Cluster>] {
+        &self.clusters_by_source
+    }
+
+    /// Effective couplings of all sources into a sensing selection, in
+    /// [`Source::ALL`] order (Wb per A·m²).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a PSA index ≥ 16.
+    pub fn couplings_for(&self, select: SensorSelect) -> Result<Vec<f64>, CoreError> {
+        match select {
+            SensorSelect::Psa(i) => {
+                if i >= self.sensor_bank.len() {
+                    return Err(CoreError::InvalidParameter {
+                        what: "psa sensor index out of range",
+                    });
+                }
+                Ok(self.psa_couplings.sensor_column(i))
+            }
+            other => self
+                .probe_couplings
+                .iter()
+                .find(|(s, _, _)| *s == other)
+                .map(|(_, _, col)| col.clone())
+                .ok_or(CoreError::InvalidParameter {
+                    what: "probe not configured",
+                }),
+        }
+    }
+
+    /// Sensor-referred noise of a selection over bandwidth `bw_hz`
+    /// (coil/probe thermal + ambient), volts RMS. For PSA sensors the
+    /// series resistance includes the four T-gates at the given corner.
+    pub fn sensor_noise_vrms(
+        &self,
+        select: SensorSelect,
+        bw_hz: f64,
+        vdd: f64,
+        temp_c: f64,
+    ) -> f64 {
+        match select {
+            SensorSelect::Psa(i) => {
+                let Ok(sensor) = self.sensor_bank.sensor(i) else {
+                    return 0.0;
+                };
+                let r = sensor.coil().series_resistance_ohm(&self.tgate, vdd, temp_c);
+                psa_field::noise::thermal_noise_vrms(r, temp_c + 273.15, bw_hz)
+            }
+            other => self
+                .probe_couplings
+                .iter()
+                .find(|(s, _, _)| *s == other)
+                .map(|(_, p, _)| p.total_noise_vrms(bw_hz))
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// The probe model behind a baseline selection.
+    pub fn probe(&self, select: SensorSelect) -> Option<&ProbeModel> {
+        self.probe_couplings
+            .iter()
+            .find(|(s, _, _)| *s == select)
+            .map(|(_, p, _)| p)
+    }
+}
+
+/// Maps an activity source to its floorplan module.
+pub fn module_for_source(source: Source) -> ModuleKind {
+    match source {
+        Source::AesCore => ModuleKind::AesCore,
+        Source::UartFifo => ModuleKind::UartFifo,
+        Source::PsaControl => ModuleKind::PsaControl,
+        Source::TrojanT1 => ModuleKind::TrojanT1,
+        Source::TrojanT2 => ModuleKind::TrojanT2,
+        Source::TrojanT3 => ModuleKind::TrojanT3,
+        Source::TrojanT4 => ModuleKind::TrojanT4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::OnceLock;
+
+    fn chip() -> &'static TestChip {
+        static CHIP: OnceLock<TestChip> = OnceLock::new();
+        CHIP.get_or_init(TestChip::date24)
+    }
+
+    #[test]
+    fn chip_assembles() {
+        let c = chip();
+        assert_eq!(c.sensor_bank().len(), 16);
+        assert_eq!(c.clusters_by_source().len(), Source::ALL.len());
+        assert_eq!(c.charges_fc().len(), Source::ALL.len());
+    }
+
+    #[test]
+    fn every_source_has_clusters() {
+        for (s, clusters) in Source::ALL.iter().zip(chip().clusters_by_source()) {
+            assert!(!clusters.is_empty(), "{s:?} has no clusters");
+        }
+    }
+
+    #[test]
+    fn sensor10_dominates_trojan_coupling() {
+        let c = chip();
+        // T3's coupling into sensor 10 must exceed its coupling into
+        // sensor 0 by orders of magnitude — the Fig 4 contrast.
+        let t3_idx = Source::ALL
+            .iter()
+            .position(|&s| s == Source::TrojanT3)
+            .unwrap();
+        let k10 = c.couplings_for(SensorSelect::Psa(10)).unwrap()[t3_idx].abs();
+        let k0 = c.couplings_for(SensorSelect::Psa(0)).unwrap()[t3_idx].abs();
+        assert!(k10 > 20.0 * k0, "k10 {k10} vs k0 {k0}");
+    }
+
+    #[test]
+    fn psa_couples_stronger_than_external_probe() {
+        let c = chip();
+        let aes_idx = 0; // Source::AesCore
+        let k_psa = c.couplings_for(SensorSelect::Psa(10)).unwrap()[aes_idx].abs();
+        let k_lf1 = c.couplings_for(SensorSelect::LangerLf1).unwrap()[aes_idx].abs();
+        assert!(k_psa > 10.0 * k_lf1, "psa {k_psa} vs lf1 {k_lf1}");
+    }
+
+    #[test]
+    fn invalid_selections_rejected() {
+        let c = chip();
+        assert!(c.couplings_for(SensorSelect::Psa(16)).is_err());
+        assert!(c.couplings_for(SensorSelect::Psa(0)).is_ok());
+    }
+
+    #[test]
+    fn noise_floors_ordered() {
+        let c = chip();
+        let bw = 120.0e6;
+        let psa = c.sensor_noise_vrms(SensorSelect::Psa(10), bw, 1.0, 25.0);
+        let lf1 = c.sensor_noise_vrms(SensorSelect::LangerLf1, bw, 1.0, 25.0);
+        assert!(psa > 0.0);
+        assert!(lf1 > 0.0);
+        // The external probe carries the ambient floor.
+        assert!(c.probe(SensorSelect::LangerLf1).unwrap().ambient_noise_vrms > 0.0);
+        assert!(c.probe(SensorSelect::Psa(0)).is_none());
+    }
+
+    #[test]
+    fn source_module_mapping_is_total() {
+        for s in Source::ALL {
+            let _ = module_for_source(s); // must not panic
+        }
+        assert_eq!(module_for_source(Source::TrojanT2), ModuleKind::TrojanT2);
+    }
+}

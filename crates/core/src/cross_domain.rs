@@ -1,0 +1,372 @@
+//! The paper's run-time **cross-domain analysis** (Sec. VI-D).
+//!
+//! Golden-model free: the reference is the *same chip* measured while
+//! its Trojans are dormant (run-time baseline learning), not a separate
+//! golden device. The pipeline is:
+//!
+//! 1. **Frequency domain** — average ≤ 5 traces per sensor, compare
+//!    against the learned baseline spectrum, and flag *emergent*
+//!    components (the 48 MHz / 84 MHz sidebands of Fig 4) that exceed a
+//!    threshold.
+//! 2. **Localization** — rank the 16 sensors by anomaly energy; the
+//!    top sensor's footprint localizes the Trojan (sensor 10 in the
+//!    paper; sensor 0 stays silent).
+//! 3. **Time domain** — switch to zero-span at the most prominent
+//!    emergent frequency and classify the recovered envelope to
+//!    *identify* which Trojan is active (Fig 5).
+
+use crate::acquisition::Acquisition;
+use crate::calib;
+use crate::chip::{SensorSelect, TestChip};
+use crate::error::CoreError;
+use crate::identify::{self, TemplateLibrary};
+use crate::scenario::Scenario;
+use psa_dsp::peak;
+use psa_gatesim::trojan::TrojanKind;
+use psa_layout::Rect;
+
+/// A learned run-time baseline: one averaged spectrum per PSA sensor,
+/// collected from the same chip while no Trojan is active.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// Per-sensor full-FFT-resolution spectra in dB (the detector's
+    /// working resolution).
+    pub per_sensor_db: Vec<Vec<f64>>,
+}
+
+/// Per-sensor anomaly measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorAnomaly {
+    /// Sensor index 0–15.
+    pub sensor: usize,
+    /// Total anomaly energy: sum of dB excesses over threshold
+    /// (reported for Fig-4-style contrast).
+    pub energy_db: f64,
+    /// Absolute emergent amplitude: sum of linear amplitude excesses
+    /// over the hit bins, volts. Localization ranks by this — the
+    /// sensor with the strongest *absolute* coupling to the Trojan is
+    /// the closest one, regardless of how quiet its own floor is.
+    pub amplitude_v: f64,
+    /// Emergent components as `(freq_hz, excess_db)`, strongest first.
+    pub components: Vec<(f64, f64)>,
+}
+
+/// The analyzer's verdict for one scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Whether any sensor saw an emergent component over threshold.
+    pub detected: bool,
+    /// Sensors ranked by descending anomaly energy.
+    pub ranking: Vec<SensorAnomaly>,
+    /// The localized sensor (top of the ranking) when detected.
+    pub localized_sensor: Option<usize>,
+    /// The localized die region (the top sensor's footprint).
+    pub localized_region: Option<Rect>,
+    /// The most prominent emergent frequency, Hz.
+    pub prominent_freq_hz: Option<f64>,
+    /// The identified Trojan (time-domain stage), when detected.
+    pub identified: Option<TrojanKind>,
+    /// Distance of the envelope features to the matched template
+    /// (smaller = more confident).
+    pub identification_distance: Option<f64>,
+    /// Traces consumed by the detection stage (per sensor).
+    pub traces_per_sensor: usize,
+}
+
+/// Configuration of the cross-domain analyzer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzerConfig {
+    /// Traces averaged per sensor per decision (paper: ≤ 5, fewer than
+    /// ten in total).
+    pub traces_per_sensor: usize,
+    /// Emergent-component threshold in dB over baseline.
+    pub threshold_db: f64,
+    /// Records used for the zero-span identification stage.
+    pub zero_span_records: usize,
+    /// Minimum number of emergent bins for a detection (guards against
+    /// single-bin noise flickers).
+    pub min_components: usize,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        AnalyzerConfig {
+            traces_per_sensor: calib::TRACES_PER_SPECTRUM,
+            threshold_db: calib::DETECTION_THRESHOLD_DB,
+            zero_span_records: 6,
+            min_components: 1,
+        }
+    }
+}
+
+/// The cross-domain analyzer bound to a chip.
+#[derive(Debug)]
+pub struct CrossDomainAnalyzer<'a> {
+    chip: &'a TestChip,
+    config: AnalyzerConfig,
+    templates: TemplateLibrary,
+}
+
+impl<'a> CrossDomainAnalyzer<'a> {
+    /// Creates an analyzer with default configuration and the built-in
+    /// envelope template library.
+    pub fn new(chip: &'a TestChip) -> Self {
+        CrossDomainAnalyzer {
+            chip,
+            config: AnalyzerConfig::default(),
+            templates: TemplateLibrary::reference(chip),
+        }
+    }
+
+    /// Creates an analyzer with a custom configuration.
+    pub fn with_config(chip: &'a TestChip, config: AnalyzerConfig) -> Self {
+        CrossDomainAnalyzer {
+            chip,
+            config,
+            templates: TemplateLibrary::reference(chip),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
+
+    /// Learns the run-time baseline: averaged spectra of all 16 sensors
+    /// while the chip encrypts with every Trojan dormant.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; acquisition failures cannot occur for the built-in
+    /// 16-sensor bank (indices are in range by construction).
+    pub fn learn_baseline(&self, seed: u64) -> Baseline {
+        let acq = Acquisition::new(self.chip);
+        let scenario = Scenario::baseline().with_seed(seed);
+        let per_sensor_db = (0..self.chip.sensor_bank().len())
+            .map(|i| {
+                let traces = acq
+                    .acquire(
+                        &scenario,
+                        SensorSelect::Psa(i),
+                        self.config.traces_per_sensor,
+                    )
+                    .expect("built-in sensors are valid");
+                acq.fullres_spectrum_db(&traces)
+                    .expect("non-empty trace sets")
+            })
+            .collect();
+        Baseline { per_sensor_db }
+    }
+
+    /// Runs the full cross-domain pipeline on a scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition/DSP errors ([`CoreError`]).
+    pub fn analyze(
+        &self,
+        scenario: &Scenario,
+        baseline: &Baseline,
+    ) -> Result<Verdict, CoreError> {
+        let acq = Acquisition::new(self.chip);
+
+        // Stage 1+2: frequency-domain sweep over all sensors, at full
+        // FFT resolution (the detector's RBW). The comparison uses a
+        // local-max envelope of the baseline so per-bin noise flicker
+        // between the learning and test windows cannot false-alarm.
+        let mut ranking = Vec::with_capacity(self.chip.sensor_bank().len());
+        let mut spectra = Vec::with_capacity(self.chip.sensor_bank().len());
+        let mut base_envs = Vec::with_capacity(self.chip.sensor_bank().len());
+        for i in 0..self.chip.sensor_bank().len() {
+            let traces = acq.acquire(
+                scenario,
+                SensorSelect::Psa(i),
+                self.config.traces_per_sensor,
+            )?;
+            let spec = acq.fullres_spectrum_db(&traces)?;
+            let base = baseline
+                .per_sensor_db
+                .get(i)
+                .ok_or(CoreError::InvalidParameter {
+                    what: "baseline missing a sensor",
+                })?;
+            let base_env = local_max_envelope(base, 8);
+            let hits =
+                peak::excess_over_baseline_db(&spec, &base_env, self.config.threshold_db);
+            let merged = merge_adjacent_bins(&hits);
+            let energy: f64 = merged.iter().map(|(_, e)| e).sum();
+            let components: Vec<(f64, f64)> = merged
+                .iter()
+                .map(|&(bin, excess)| (acq.fullres_bin_hz(bin), excess))
+                .collect();
+            ranking.push(SensorAnomaly {
+                sensor: i,
+                energy_db: energy,
+                amplitude_v: 0.0, // filled in once the common line is known
+                components,
+            });
+            spectra.push(spec);
+            base_envs.push(base_env);
+        }
+
+        let detected = ranking
+            .iter()
+            .any(|a| a.components.len() >= self.config.min_components);
+        if !detected {
+            ranking.sort_by(|a, b| b.energy_db.total_cmp(&a.energy_db));
+            return Ok(Verdict {
+                detected: false,
+                ranking,
+                localized_sensor: None,
+                localized_region: None,
+                prominent_freq_hz: None,
+                identified: None,
+                identification_distance: None,
+                traces_per_sensor: self.config.traces_per_sensor,
+            });
+        }
+
+        // The sideband family's canonical component: among all detected
+        // components prefer the one nearest 48 MHz (the line the paper
+        // zero-spans in Fig 5); fall back to the globally strongest.
+        let all_components: Vec<(f64, f64)> = ranking
+            .iter()
+            .flat_map(|a| a.components.iter().copied())
+            .collect();
+        let strongest = all_components
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("detected implies at least one component");
+        let prominent = all_components
+            .iter()
+            .filter(|(f, _)| (f - 48.0e6).abs() < 5.0e6)
+            .min_by(|a, b| (a.0 - 48.0e6).abs().total_cmp(&(b.0 - 48.0e6).abs()))
+            .map(|&(f, _)| f)
+            .unwrap_or(strongest.0);
+        let line_bin = acq.fullres_freq_bin(prominent);
+
+        // Localization: rank sensors by the *absolute* emergent
+        // amplitude at the common line — the sensor with the strongest
+        // coupling to the Trojan is the closest, regardless of how quiet
+        // its own floor is. The subtraction uses the *raw* baseline (an
+        // unbiased floor estimate); the max-envelope is only for the
+        // detection threshold.
+        for (i, anomaly) in ranking.iter_mut().enumerate() {
+            let window = 3usize;
+            let lo = line_bin.saturating_sub(window);
+            let hi = (line_bin + window + 1).min(spectra[i].len());
+            let base = &baseline.per_sensor_db[i];
+            let amp = (lo..hi)
+                .map(|k| {
+                    psa_dsp::spectrum::db_to_amplitude(spectra[i][k])
+                        - psa_dsp::spectrum::db_to_amplitude(base[k])
+                })
+                .fold(0.0f64, f64::max);
+            anomaly.amplitude_v = amp.max(0.0);
+        }
+        ranking.sort_by(|a, b| b.amplitude_v.total_cmp(&a.amplitude_v));
+        let top_sensor = ranking[0].sensor;
+
+        let localized_region = self
+            .chip
+            .sensor_bank()
+            .sensor(top_sensor)
+            .map(|s| s.footprint())
+            .ok();
+
+        // Stage 3: cross-domain identification on the localized sensor —
+        // spectral context of the line plus its zero-span envelope.
+        let signature = identify::signature_from_parts(
+            &acq,
+            scenario,
+            top_sensor,
+            prominent,
+            &spectra[top_sensor],
+            &base_envs[top_sensor],
+        )?;
+        let (identified, dist) = self.templates.classify(&signature)?;
+        let localized_sensor = top_sensor;
+
+        Ok(Verdict {
+            detected: true,
+            ranking,
+            localized_sensor: Some(localized_sensor),
+            localized_region,
+            prominent_freq_hz: Some(prominent),
+            identified: Some(identified),
+            identification_distance: Some(dist),
+            traces_per_sensor: self.config.traces_per_sensor,
+        })
+    }
+
+    /// The template library used for identification.
+    pub fn templates(&self) -> &TemplateLibrary {
+        &self.templates
+    }
+}
+
+use psa_dsp::peak::local_max_envelope;
+
+/// Collapses runs of adjacent excess bins into their strongest member,
+/// so one spectral line is one component.
+fn merge_adjacent_bins(hits: &[(usize, f64)]) -> Vec<(usize, f64)> {
+    if hits.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<(usize, f64)> = hits.to_vec();
+    sorted.sort_by_key(|&(bin, _)| bin);
+    let mut merged: Vec<(usize, f64)> = Vec::new();
+    let mut current_best = sorted[0];
+    let mut last_bin = sorted[0].0;
+    for &(bin, excess) in &sorted[1..] {
+        if bin <= last_bin + 3 {
+            if excess > current_best.1 {
+                current_best = (bin, excess);
+            }
+        } else {
+            merged.push(current_best);
+            current_best = (bin, excess);
+        }
+        last_bin = bin;
+    }
+    merged.push(current_best);
+    merged.sort_by(|a, b| b.1.total_cmp(&a.1));
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_collapses_runs() {
+        let hits = vec![(100, 12.0), (101, 15.0), (102, 11.0), (500, 20.0)];
+        let merged = merge_adjacent_bins(&hits);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0], (500, 20.0));
+        assert_eq!(merged[1], (101, 15.0));
+    }
+
+    #[test]
+    fn merge_empty() {
+        assert!(merge_adjacent_bins(&[]).is_empty());
+    }
+
+    #[test]
+    fn merge_keeps_isolated_bins() {
+        let hits = vec![(10, 11.0), (50, 12.0), (90, 13.0)];
+        assert_eq!(merge_adjacent_bins(&hits).len(), 3);
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = AnalyzerConfig::default();
+        assert_eq!(c.traces_per_sensor, 5);
+        assert_eq!(c.threshold_db, 10.0);
+    }
+
+    // Full-pipeline behaviour is covered by the workspace integration
+    // tests (tests/cross_domain.rs) since it needs the expensive chip
+    // build.
+}

@@ -1,0 +1,403 @@
+//! Detector implementations compared in Table I.
+//!
+//! A common [`Detector`] trait with four implementations:
+//!
+//! * [`CrossDomainDetector`] — the paper's PSA pipeline (this work);
+//! * [`EuclideanDetector`] — the statistical trace-distance approach of
+//!   He et al. (TVLSI'17, external probe) and He et al. (DAC'20,
+//!   single on-chip coil): collect many traces, compare the Euclidean
+//!   distance between reference and test mean spectra against the
+//!   reference spread;
+//! * [`BackscatterDetector`] — Nguyen et al. (HOST'20): cluster
+//!   injected-carrier spectra with PCA + K-means and call a detection
+//!   when the clusters separate.
+
+use crate::acquisition::Acquisition;
+use crate::chip::{SensorSelect, TestChip};
+use crate::cross_domain::{Baseline, CrossDomainAnalyzer};
+use crate::error::CoreError;
+use crate::scenario::Scenario;
+use psa_dsp::spectrum;
+use psa_gatesim::trojan::TrojanKind;
+use psa_ml::distance::euclidean;
+use psa_ml::kmeans::KMeans;
+use psa_ml::metrics::silhouette_score;
+use psa_ml::pca::Pca;
+
+/// Outcome of one detection attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionOutcome {
+    /// Whether the detector called a Trojan present.
+    pub detected: bool,
+    /// Total traces consumed (the Table I "Measurement #" row).
+    pub traces_used: usize,
+    /// Localized sensor index, when the method can localize.
+    pub localized_sensor: Option<usize>,
+    /// Identified Trojan, when the method can identify.
+    pub identified: Option<TrojanKind>,
+}
+
+/// A Trojan detector operating on the simulated chip.
+pub trait Detector {
+    /// Human-readable method name (Table I column header).
+    fn name(&self) -> &'static str;
+
+    /// Whether the method can report *where* the Trojan is.
+    fn can_localize(&self) -> bool;
+
+    /// Runs one detection attempt against `scenario`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition/analysis errors ([`CoreError`]).
+    fn detect(
+        &self,
+        chip: &TestChip,
+        scenario: &Scenario,
+    ) -> Result<DetectionOutcome, CoreError>;
+}
+
+/// The paper's cross-domain PSA detector.
+#[derive(Debug)]
+pub struct CrossDomainDetector {
+    baseline: Baseline,
+}
+
+impl CrossDomainDetector {
+    /// Learns the run-time baseline on construction.
+    pub fn new(chip: &TestChip, baseline_seed: u64) -> Self {
+        let analyzer = CrossDomainAnalyzer::new(chip);
+        CrossDomainDetector {
+            baseline: analyzer.learn_baseline(baseline_seed),
+        }
+    }
+
+    /// Access to the learned baseline.
+    pub fn baseline(&self) -> &Baseline {
+        &self.baseline
+    }
+}
+
+impl Detector for CrossDomainDetector {
+    fn name(&self) -> &'static str {
+        "PSA cross-domain (this work)"
+    }
+
+    fn can_localize(&self) -> bool {
+        true
+    }
+
+    fn detect(
+        &self,
+        chip: &TestChip,
+        scenario: &Scenario,
+    ) -> Result<DetectionOutcome, CoreError> {
+        let analyzer = CrossDomainAnalyzer::new(chip);
+        let verdict = analyzer.analyze(scenario, &self.baseline)?;
+        Ok(DetectionOutcome {
+            detected: verdict.detected,
+            // Detection itself needs only the monitored sensor's traces
+            // (< 10); the full verdict scans all sensors for
+            // localization.
+            traces_used: verdict.traces_per_sensor,
+            localized_sensor: verdict.localized_sensor,
+            identified: verdict.identified,
+        })
+    }
+}
+
+/// The Euclidean-distance statistical baseline (He et al.).
+#[derive(Debug, Clone)]
+pub struct EuclideanDetector {
+    /// The probe this instance models (external probe or single coil).
+    pub sensor: SensorSelect,
+    /// Traces per side (reference and test).
+    pub traces_per_side: usize,
+    /// Detection threshold in reference-spread multiples.
+    pub k_sigma: f64,
+    /// Record length in clock cycles. The original setups captured
+    /// short oscilloscope records (coarse RBW) — a key reason they miss
+    /// small Trojans.
+    pub record_cycles: usize,
+}
+
+impl EuclideanDetector {
+    /// Record length of the literature setups: 512 cycles (4096 samples,
+    /// ≈64 kHz RBW).
+    pub const BASELINE_RECORD_CYCLES: usize = 512;
+
+    /// He TVLSI'17: external probe, many traces.
+    pub fn external_probe(traces_per_side: usize) -> Self {
+        EuclideanDetector {
+            sensor: SensorSelect::LangerLf1,
+            traces_per_side,
+            k_sigma: 3.0,
+            record_cycles: Self::BASELINE_RECORD_CYCLES,
+        }
+    }
+
+    /// He DAC'20: whole-die single coil, many traces.
+    pub fn single_coil(traces_per_side: usize) -> Self {
+        EuclideanDetector {
+            sensor: SensorSelect::SingleCoil,
+            traces_per_side,
+            k_sigma: 3.0,
+            record_cycles: Self::BASELINE_RECORD_CYCLES,
+        }
+    }
+}
+
+impl Detector for EuclideanDetector {
+    fn name(&self) -> &'static str {
+        match self.sensor {
+            SensorSelect::LangerLf1 | SensorSelect::IcrHh100 => {
+                "external probe + Euclidean statistics"
+            }
+            _ => "single on-chip coil + Euclidean statistics",
+        }
+    }
+
+    fn can_localize(&self) -> bool {
+        false
+    }
+
+    fn detect(
+        &self,
+        chip: &TestChip,
+        scenario: &Scenario,
+    ) -> Result<DetectionOutcome, CoreError> {
+        let acq = Acquisition::new(chip);
+        // Reference: same chip with Trojans dormant (their golden-model
+        // assumption translated to our run-time setting).
+        let reference = Scenario {
+            trojan: None,
+            extra_trojans: Vec::new(),
+            ..scenario.clone()
+        }
+        .with_seed(scenario.seed ^ 0xA5A5);
+
+        let mut ref_spectra = Vec::with_capacity(self.traces_per_side);
+        let mut test_spectra = Vec::with_capacity(self.traces_per_side);
+        // Spectra per single trace: the original methods "compare the
+        // Euclidean distance between traces or explore the Euclidean
+        // distance distributions" — per-trace distributions, which is why
+        // they need so many traces at low SNR.
+        for i in 0..self.traces_per_side {
+            let r = acq.acquire_len(
+                &reference.clone().with_seed(reference.seed + i as u64),
+                self.sensor,
+                1,
+                self.record_cycles,
+            )?;
+            ref_spectra.push(linear_spectrum(&acq, &r)?);
+            let t = acq.acquire_len(
+                &scenario.clone().with_seed(scenario.seed + i as u64),
+                self.sensor,
+                1,
+                self.record_cycles,
+            )?;
+            test_spectra.push(linear_spectrum(&acq, &t)?);
+        }
+        let ref_mean = spectrum::average_traces(&ref_spectra)?;
+
+        // Distance distributions around the reference mean: detection
+        // when the test distribution shifts beyond the reference spread
+        // (no √N averaging gain — per-trace discriminability governs,
+        // matching the originals' behaviour at low SNR).
+        let ref_dists: Vec<f64> = ref_spectra
+            .iter()
+            .map(|s| euclidean(s, &ref_mean))
+            .collect();
+        let test_dists: Vec<f64> = test_spectra
+            .iter()
+            .map(|s| euclidean(s, &ref_mean))
+            .collect();
+        let ref_mu = psa_dsp::stats::mean(&ref_dists);
+        let ref_sigma = psa_dsp::stats::std_dev(&ref_dists);
+        let test_mu = psa_dsp::stats::mean(&test_dists);
+        let detected = ref_sigma > 0.0 && test_mu > ref_mu + self.k_sigma * ref_sigma;
+
+        Ok(DetectionOutcome {
+            detected,
+            traces_used: 2 * self.traces_per_side,
+            localized_sensor: None,
+            identified: None,
+        })
+    }
+}
+
+fn linear_spectrum(
+    acq: &Acquisition<'_>,
+    traces: &crate::acquisition::TraceSet,
+) -> Result<Vec<f64>, CoreError> {
+    let db = acq.spectrum_db(traces)?;
+    Ok(db.into_iter().map(spectrum::db_to_amplitude).collect())
+}
+
+/// The backscattering clustering baseline (Nguyen et al., HOST'20).
+///
+/// A carrier is injected and its reflection, amplitude-modulated by the
+/// chip's impedance (itself modulated by total switching activity), is
+/// captured. Spectra of reference and test captures are projected with
+/// PCA and clustered with K-means; well-separated clusters mean a
+/// Trojan.
+#[derive(Debug, Clone)]
+pub struct BackscatterDetector {
+    /// Traces per side (the paper's method used ~100 total).
+    pub traces_per_side: usize,
+    /// Carrier frequency, Hz (kept inside the 120 MHz band).
+    pub carrier_hz: f64,
+    /// Silhouette threshold for calling a separation.
+    pub silhouette_threshold: f64,
+}
+
+impl Default for BackscatterDetector {
+    fn default() -> Self {
+        BackscatterDetector {
+            traces_per_side: 50,
+            carrier_hz: 100.0e6,
+            silhouette_threshold: 0.4,
+        }
+    }
+}
+
+impl BackscatterDetector {
+    /// Synthesizes one backscatter capture: the carrier AM-modulated by
+    /// the chip's total switching activity (impedance modulation), plus
+    /// measurement noise; returns its spectrum feature vector.
+    fn capture_features(
+        &self,
+        chip: &TestChip,
+        scenario: &Scenario,
+        record_index: u64,
+    ) -> Result<Vec<f64>, CoreError> {
+        use psa_gatesim::activity::ActivitySimulator;
+        let fs = crate::calib::sample_rate_hz();
+        let mut sim = ActivitySimulator::new(
+            Scenario {
+                seed: scenario.seed + record_index,
+                ..scenario.clone()
+            }
+            .chip_config(),
+        );
+        let _ = sim.advance(scenario.warmup_cycles);
+        let trace = sim.advance(crate::calib::RECORD_CYCLES);
+        // Total activity per cycle across all sources → impedance
+        // modulation index.
+        let n_cycles = trace.cycles();
+        let mut total = vec![0.0; n_cycles];
+        for wave in trace.per_source.values() {
+            for (t, &v) in total.iter_mut().zip(wave) {
+                *t += v;
+            }
+        }
+        let spc = crate::calib::SAMPLES_PER_CYCLE;
+        let mut rx = Vec::with_capacity(n_cycles * spc);
+        let mut noise = psa_field::noise::GaussianNoise::new(
+            1.0e-3,
+            scenario.seed ^ record_index.wrapping_mul(0x2545F4914F6CDD1D),
+        );
+        // Backscatter senses chip impedance directly against a *fixed*
+        // nominal activity scale (normalizing per capture would cancel
+        // the Trojan's own contribution) — the method's sensitivity to
+        // even small extra currents is its advantage in the original
+        // paper.
+        const NOMINAL_TOTAL_TOGGLES: f64 = 10_000.0;
+        for (c, &act) in total.iter().enumerate() {
+            let depth = 0.5 * act / NOMINAL_TOTAL_TOGGLES;
+            for s in 0..spc {
+                let i = (c * spc + s) as f64;
+                let t = i / fs;
+                let carrier =
+                    (2.0 * std::f64::consts::PI * self.carrier_hz * t).cos();
+                rx.push((1.0 + depth) * carrier * 1.0e-2 + noise.next());
+            }
+        }
+        // Feature vector: amplitude spectrum around the carrier.
+        let spec = spectrum::amplitude_spectrum(&rx, psa_dsp::window::Window::Hann);
+        let bin = psa_dsp::fft::freq_bin(self.carrier_hz, rx.len(), fs);
+        let lo = bin.saturating_sub(64);
+        let hi = (bin + 64).min(spec.len());
+        let _ = chip; // geometry-independent: backscatter senses global impedance
+        Ok(spec[lo..hi].to_vec())
+    }
+}
+
+impl Detector for BackscatterDetector {
+    fn name(&self) -> &'static str {
+        "backscattering + PCA/K-means (HOST'20)"
+    }
+
+    fn can_localize(&self) -> bool {
+        false
+    }
+
+    fn detect(
+        &self,
+        chip: &TestChip,
+        scenario: &Scenario,
+    ) -> Result<DetectionOutcome, CoreError> {
+        let reference = Scenario {
+            trojan: None,
+            extra_trojans: Vec::new(),
+            ..scenario.clone()
+        };
+        let mut features = Vec::with_capacity(2 * self.traces_per_side);
+        for i in 0..self.traces_per_side {
+            features.push(self.capture_features(chip, &reference, 10_000 + i as u64)?);
+        }
+        for i in 0..self.traces_per_side {
+            features.push(self.capture_features(chip, scenario, 20_000 + i as u64)?);
+        }
+        let pca = Pca::fit(&features, 2.min(features[0].len()))?;
+        let projected = pca.transform(&features)?;
+        let fit = KMeans::new(2).with_seed(scenario.seed).fit(&projected)?;
+        let silhouette = silhouette_score(&projected, fit.assignments());
+        // Detection: clusters separate AND they actually split the
+        // reference/test halves rather than noise.
+        let half = self.traces_per_side;
+        let ref_majority = majority(&fit.assignments()[..half]);
+        let test_majority = majority(&fit.assignments()[half..]);
+        let detected = silhouette > self.silhouette_threshold
+            && ref_majority != test_majority;
+        Ok(DetectionOutcome {
+            detected,
+            traces_used: 2 * self.traces_per_side,
+            localized_sensor: None,
+            identified: None,
+        })
+    }
+}
+
+fn majority(assignments: &[usize]) -> usize {
+    let ones = assignments.iter().filter(|&&a| a == 1).count();
+    usize::from(ones * 2 > assignments.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_votes() {
+        assert_eq!(majority(&[0, 0, 1]), 0);
+        assert_eq!(majority(&[1, 1, 0]), 1);
+        assert_eq!(majority(&[]), 0);
+    }
+
+    #[test]
+    fn detector_metadata() {
+        let e = EuclideanDetector::external_probe(10);
+        assert!(!e.can_localize());
+        assert!(e.name().contains("external"));
+        let s = EuclideanDetector::single_coil(10);
+        assert!(s.name().contains("single"));
+        let b = BackscatterDetector::default();
+        assert!(!b.can_localize());
+        assert!(b.name().contains("backscatter"));
+    }
+
+    // End-to-end detector behaviour (detection rates, trace counts) is
+    // exercised by the workspace integration tests and the Table I
+    // regeneration binary.
+}

@@ -1,0 +1,90 @@
+//! Error type for the core pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the acquisition and analysis pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A configuration value was invalid.
+    InvalidParameter {
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// A layout operation failed while assembling the chip.
+    Layout(psa_layout::LayoutError),
+    /// An EM-field computation failed.
+    Field(psa_field::FieldError),
+    /// A PSA programming/extraction step failed.
+    Array(psa_array::ArrayError),
+    /// An analog-chain step failed.
+    Analog(psa_analog::AnalogError),
+    /// A DSP step failed.
+    Dsp(psa_dsp::DspError),
+    /// An ML step failed.
+    Ml(psa_ml::MlError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidParameter { what } => {
+                write!(f, "invalid parameter: {what}")
+            }
+            CoreError::Layout(e) => write!(f, "layout error: {e}"),
+            CoreError::Field(e) => write!(f, "field error: {e}"),
+            CoreError::Array(e) => write!(f, "array error: {e}"),
+            CoreError::Analog(e) => write!(f, "analog error: {e}"),
+            CoreError::Dsp(e) => write!(f, "dsp error: {e}"),
+            CoreError::Ml(e) => write!(f, "ml error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::InvalidParameter { .. } => None,
+            CoreError::Layout(e) => Some(e),
+            CoreError::Field(e) => Some(e),
+            CoreError::Array(e) => Some(e),
+            CoreError::Analog(e) => Some(e),
+            CoreError::Dsp(e) => Some(e),
+            CoreError::Ml(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! impl_from {
+    ($variant:ident, $ty:ty) => {
+        #[doc(hidden)]
+        impl From<$ty> for CoreError {
+            fn from(e: $ty) -> Self {
+                CoreError::$variant(e)
+            }
+        }
+    };
+}
+
+impl_from!(Layout, psa_layout::LayoutError);
+impl_from!(Field, psa_field::FieldError);
+impl_from!(Array, psa_array::ArrayError);
+impl_from!(Analog, psa_analog::AnalogError);
+impl_from!(Dsp, psa_dsp::DspError);
+impl_from!(Ml, psa_ml::MlError);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_preserves_source() {
+        let e: CoreError = psa_dsp::DspError::EmptyInput.into();
+        assert!(e.to_string().contains("dsp"));
+        assert!(Error::source(&e).is_some());
+        let p = CoreError::InvalidParameter { what: "traces" };
+        assert!(Error::source(&p).is_none());
+        assert!(!p.to_string().ends_with('.'));
+    }
+}

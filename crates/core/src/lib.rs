@@ -1,0 +1,65 @@
+//! Core library of the PSA reproduction: the paper's algorithmic
+//! contribution assembled on top of the substrate crates.
+//!
+//! *Programmable EM Sensor Array for Golden-Model Free Run-time Trojan
+//! Detection and Localization* (DATE 2024) contributes (1) the
+//! programmable on-chip sensor array itself (modelled in [`psa_array`])
+//! and (2) a **cross-domain analysis** that detects, localizes, and
+//! identifies hardware Trojans at run time without a golden model. This
+//! crate implements that pipeline end to end on the simulated test chip:
+//!
+//! * [`chip`] — assembles the simulated AES-128 test chip: floorplan,
+//!   digital activity, EM coupling, PSA lattice and analog chain.
+//! * [`scenario`] — what the chip is doing during a measurement (which
+//!   Trojan is active, plaintexts, supply voltage, temperature, seed).
+//! * [`acquisition`] — collects voltage traces and spectra from any
+//!   sensor, exactly like the paper's spectrum-analyzer captures.
+//! * [`calib`] — the few free physical constants, calibrated once so the
+//!   absolute SNR figures land near the paper's (Sec. VI-B).
+//! * [`cross_domain`] — the paper's detector: learn a same-chip baseline
+//!   spectrum, flag emergent sideband components (48/84 MHz), localize by
+//!   scanning the 16 sensors, then switch to the time domain (zero-span)
+//!   to identify which Trojan is active.
+//! * [`identify`] — envelope feature extraction and the unsupervised /
+//!   nearest-template classification of Fig 5.
+//! * [`detector`] — a common [`detector::Detector`] trait plus the
+//!   baselines of Table I: Euclidean-distance statistics on external-probe
+//!   and single-coil traces (He TVLSI'17 / He DAC'20) and the
+//!   backscattering PCA+K-means detector (Nguyen HOST'20).
+//! * [`snr`] — the RMS-ratio SNR procedure of Eq. (1).
+//! * [`mttd`] — mean-time-to-detect simulation of the run-time loop.
+//! * [`report`] — plain-text table rendering for the bench harness.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use psa_core::chip::TestChip;
+//! use psa_core::cross_domain::CrossDomainAnalyzer;
+//! use psa_core::scenario::Scenario;
+//! use psa_gatesim::trojan::TrojanKind;
+//!
+//! let chip = TestChip::date24();
+//! let analyzer = CrossDomainAnalyzer::new(&chip);
+//! let baseline = analyzer.learn_baseline(42);
+//! let verdict = analyzer
+//!     .analyze(&Scenario::trojan_active(TrojanKind::T1).with_seed(7), &baseline)
+//!     .expect("analysis succeeds");
+//! assert!(verdict.detected);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acquisition;
+pub mod calib;
+pub mod chip;
+pub mod cross_domain;
+pub mod detector;
+pub mod error;
+pub mod identify;
+pub mod mttd;
+pub mod report;
+pub mod scenario;
+pub mod snr;
+
+pub use error::CoreError;

@@ -1,0 +1,201 @@
+//! Mean-time-to-detect simulation (paper Sec. II-A, VI-D).
+//!
+//! In the run-time threat model the clock starts when the Trojan
+//! *activates*; MTTD is the delay until the monitor flags it. The
+//! monitor loop alternates acquisition (record time at 264 MS/s) and
+//! processing (FFT + comparison on the RASC-class companion), watching
+//! one sensor per iteration. The paper reports detection with fewer
+//! than ten traces in under 10 ms; baseline methods need 100–10 000
+//! traces and correspondingly longer.
+
+use crate::acquisition::Acquisition;
+use crate::calib;
+use crate::chip::{SensorSelect, TestChip};
+use crate::cross_domain::Baseline;
+use crate::error::CoreError;
+use crate::scenario::Scenario;
+use psa_dsp::peak;
+
+/// Timing model of the run-time monitor loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorTiming {
+    /// Seconds to acquire one record (4096 samples at 264 MS/s plus
+    /// retrigger overhead).
+    pub acquisition_s: f64,
+    /// Seconds to process one record (4096-point FFT + baseline compare
+    /// on the companion FPGA).
+    pub processing_s: f64,
+}
+
+impl Default for MonitorTiming {
+    fn default() -> Self {
+        MonitorTiming {
+            // 65 536 samples / 264 MS/s = 248 µs, plus retrigger and
+            // transfer overhead.
+            acquisition_s: 300.0e-6,
+            // Streaming 65 536-pt FFT on the companion FPGA plus the
+            // baseline comparison.
+            processing_s: 350.0e-6,
+        }
+    }
+}
+
+/// Result of one MTTD trial.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MttdResult {
+    /// Whether the Trojan was detected within the trial budget.
+    pub detected: bool,
+    /// Time from Trojan activation to detection, seconds.
+    pub time_to_detect_s: f64,
+    /// Traces consumed until detection.
+    pub traces_used: usize,
+    /// The sensor that fired.
+    pub sensor: usize,
+}
+
+/// Runs one MTTD trial: the Trojan activates at t = 0 and the monitor
+/// polls `sensor` with single traces, comparing each new averaged window
+/// against the baseline.
+///
+/// `max_traces` bounds the trial (a non-detection returns
+/// `detected = false` with the full budget spent).
+///
+/// # Errors
+///
+/// Propagates acquisition errors.
+pub fn mttd_trial(
+    chip: &TestChip,
+    scenario: &Scenario,
+    baseline: &Baseline,
+    sensor: usize,
+    timing: &MonitorTiming,
+    max_traces: usize,
+) -> Result<MttdResult, CoreError> {
+    let acq = Acquisition::new(chip);
+    let base = baseline
+        .per_sensor_db
+        .get(sensor)
+        .ok_or(CoreError::InvalidParameter {
+            what: "baseline missing monitored sensor",
+        })?;
+    // Same flicker-proof comparison as the analyzer: a test bin must
+    // beat the local worst case of the learned baseline.
+    let base_env = peak::local_max_envelope(base, 8);
+
+    let mut window: Vec<Vec<f64>> = Vec::new();
+    let mut elapsed = 0.0;
+    for trace_idx in 0..max_traces {
+        // Acquire one fresh record (the simulator runs on from the
+        // activation instant).
+        let traces = acq.acquire(
+            &scenario.clone().with_seed(scenario.seed + trace_idx as u64),
+            SensorSelect::Psa(sensor),
+            1,
+        )?;
+        elapsed += timing.acquisition_s;
+
+        window.push(traces.records[0].clone());
+        if window.len() > calib::TRACES_PER_SPECTRUM {
+            window.remove(0);
+        }
+        let set = crate::acquisition::TraceSet {
+            records: window.clone(),
+            fs_hz: traces.fs_hz,
+            sensor: traces.sensor,
+        };
+        let spec = acq.fullres_spectrum_db(&set)?;
+        elapsed += timing.processing_s;
+
+        let hits =
+            peak::excess_over_baseline_db(&spec, &base_env, calib::DETECTION_THRESHOLD_DB);
+        if !hits.is_empty() {
+            return Ok(MttdResult {
+                detected: true,
+                time_to_detect_s: elapsed,
+                traces_used: trace_idx + 1,
+                sensor,
+            });
+        }
+    }
+    Ok(MttdResult {
+        detected: false,
+        time_to_detect_s: elapsed,
+        traces_used: max_traces,
+        sensor,
+    })
+}
+
+/// Aggregate MTTD over several trials with different seeds; returns
+/// `(mean_time_s, mean_traces, detection_rate)`.
+///
+/// # Errors
+///
+/// Propagates trial errors.
+pub fn mttd_campaign(
+    chip: &TestChip,
+    scenario_for_seed: impl Fn(u64) -> Scenario,
+    baseline: &Baseline,
+    sensor: usize,
+    trials: usize,
+) -> Result<(f64, f64, f64), CoreError> {
+    let timing = MonitorTiming::default();
+    let mut total_time = 0.0;
+    let mut total_traces = 0.0;
+    let mut detections = 0usize;
+    for t in 0..trials {
+        let scenario = scenario_for_seed(1000 + t as u64);
+        let r = mttd_trial(chip, &scenario, baseline, sensor, &timing, 64)?;
+        if r.detected {
+            detections += 1;
+            total_time += r.time_to_detect_s;
+            total_traces += r.traces_used as f64;
+        }
+    }
+    if detections == 0 {
+        return Ok((f64::INFINITY, 64.0, 0.0));
+    }
+    Ok((
+        total_time / detections as f64,
+        total_traces / detections as f64,
+        detections as f64 / trials as f64,
+    ))
+}
+
+/// Equivalent detection latency for a baseline method that needs
+/// `traces_needed` traces at `per_trace_s` seconds each (the Table I
+/// comparison: 100 – >10 000 traces).
+pub fn baseline_latency_s(traces_needed: usize, per_trace_s: f64) -> f64 {
+    traces_needed as f64 * per_trace_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_timing_is_sub_1ms_per_iteration() {
+        let t = MonitorTiming::default();
+        assert!(t.acquisition_s + t.processing_s < 1.0e-3);
+        assert!(t.acquisition_s > 0.0 && t.processing_s > 0.0);
+    }
+
+    #[test]
+    fn ten_traces_fit_in_10ms() {
+        // The paper's claim is structural: <10 traces at the monitor's
+        // loop rate lands far inside 10 ms.
+        let t = MonitorTiming::default();
+        let ten = 10.0 * (t.acquisition_s + t.processing_s);
+        assert!(ten < 10.0e-3, "ten traces take {ten} s");
+    }
+
+    #[test]
+    fn baseline_latency_scales() {
+        // A >10 000-trace method at 1 ms/trace takes >= 10 s — three
+        // orders of magnitude beyond the PSA's 10 ms budget.
+        assert!(baseline_latency_s(10_001, 1.0e-3) > 10.0);
+        assert_eq!(baseline_latency_s(0, 1.0), 0.0);
+    }
+
+    // Full MTTD trials run in the workspace integration tests and the
+    // `mttd` bench binary (they need the expensive chip build).
+}

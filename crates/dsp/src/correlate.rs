@@ -1,0 +1,236 @@
+//! Auto- and cross-correlation.
+//!
+//! The Trojan identification stage compares zero-span envelopes against
+//! stored templates (normalized cross-correlation) and extracts envelope
+//! periodicity from the autocorrelation, so all four Trojans can be told
+//! apart without supervision (paper Fig 5).
+
+use crate::error::DspError;
+use crate::stats;
+
+/// Biased autocorrelation for lags `0..max_lag`, normalized so lag 0
+/// equals 1 (unless the signal has zero variance, in which case all lags
+/// are 0).
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty signal or
+/// [`DspError::InvalidLength`] when `max_lag` exceeds the signal length.
+pub fn autocorrelation(x: &[f64], max_lag: usize) -> Result<Vec<f64>, DspError> {
+    if x.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if max_lag > x.len() {
+        return Err(DspError::InvalidLength {
+            what: "autocorrelation max lag",
+            got: max_lag,
+        });
+    }
+    let m = stats::mean(x);
+    let centered: Vec<f64> = x.iter().map(|v| v - m).collect();
+    let denom: f64 = centered.iter().map(|v| v * v).sum();
+    // Guard against effectively-constant signals: the mean subtraction
+    // leaves rounding residue, so compare against the signal's own scale.
+    let scale = x.iter().map(|v| v * v).sum::<f64>().max(f64::MIN_POSITIVE);
+    if denom <= scale * 1e-24 {
+        return Ok(vec![0.0; max_lag]);
+    }
+    let mut out = Vec::with_capacity(max_lag);
+    for lag in 0..max_lag {
+        let mut acc = 0.0;
+        for i in 0..x.len() - lag {
+            acc += centered[i] * centered[i + lag];
+        }
+        out.push(acc / denom);
+    }
+    Ok(out)
+}
+
+/// Pearson correlation coefficient between two equal-length signals, in
+/// `[-1, 1]`. Returns 0 if either input has zero variance.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for empty inputs or
+/// [`DspError::InvalidLength`] on length mismatch.
+///
+/// # Example
+///
+/// ```
+/// use psa_dsp::correlate::pearson;
+/// let a = [1.0, 2.0, 3.0];
+/// let b = [2.0, 4.0, 6.0];
+/// assert!((pearson(&a, &b)? - 1.0).abs() < 1e-12);
+/// # Ok::<(), psa_dsp::DspError>(())
+/// ```
+pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64, DspError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if a.len() != b.len() {
+        return Err(DspError::InvalidLength {
+            what: "pearson operand length (must match)",
+            got: b.len(),
+        });
+    }
+    let ma = stats::mean(a);
+    let mb = stats::mean(b);
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        num += (x - ma) * (y - mb);
+        da += (x - ma) * (x - ma);
+        db += (y - mb) * (y - mb);
+    }
+    if da == 0.0 || db == 0.0 {
+        return Ok(0.0);
+    }
+    Ok(num / (da * db).sqrt())
+}
+
+/// Maximum normalized cross-correlation over all circular shifts of `b`
+/// relative to `a` — a shift-invariant template match score in `[-1, 1]`.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn max_circular_correlation(a: &[f64], b: &[f64]) -> Result<f64, DspError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    if a.len() != b.len() {
+        return Err(DspError::InvalidLength {
+            what: "correlation operand length (must match)",
+            got: b.len(),
+        });
+    }
+    let n = a.len();
+    let mut best = -1.0f64;
+    let mut shifted = vec![0.0; n];
+    for shift in 0..n {
+        for i in 0..n {
+            shifted[i] = b[(i + shift) % n];
+        }
+        best = best.max(pearson(a, &shifted)?);
+    }
+    Ok(best)
+}
+
+/// Estimates the dominant period of a signal (in samples) from the first
+/// prominent autocorrelation peak after lag 0. Returns `None` when no
+/// periodicity is found.
+pub fn dominant_period(x: &[f64], max_lag: usize) -> Option<usize> {
+    let ac = autocorrelation(x, max_lag.min(x.len())).ok()?;
+    if ac.len() < 3 {
+        return None;
+    }
+    // Skip the lag-0 main lobe: wait until the autocorrelation first drops
+    // below 0.5, then find the highest subsequent local maximum.
+    let start = ac.iter().position(|&v| v < 0.5)?;
+    let mut best: Option<(usize, f64)> = None;
+    for lag in start.max(1)..ac.len() - 1 {
+        if ac[lag] > ac[lag - 1] && ac[lag] >= ac[lag + 1] && ac[lag] > 0.2 {
+            match best {
+                Some((_, v)) if v >= ac[lag] => {}
+                _ => best = Some((lag, ac[lag])),
+            }
+        }
+    }
+    best.map(|(lag, _)| lag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn autocorrelation_lag0_is_one() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.3).sin()).collect();
+        let ac = autocorrelation(&x, 10).unwrap();
+        assert!((ac[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_signal_peaks_at_period() {
+        let period = 25;
+        let x: Vec<f64> = (0..500)
+            .map(|i| (2.0 * PI * i as f64 / period as f64).sin())
+            .collect();
+        let ac = autocorrelation(&x, 100).unwrap();
+        assert!(ac[period] > 0.9);
+        assert!(ac[period / 2] < -0.8);
+    }
+
+    #[test]
+    fn autocorrelation_validates() {
+        assert!(autocorrelation(&[], 5).is_err());
+        assert!(autocorrelation(&[1.0, 2.0], 5).is_err());
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_zero() {
+        let ac = autocorrelation(&[4.2; 50], 10).unwrap();
+        assert!(ac.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        let c = [40.0, 30.0, 20.0, 10.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_returns_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn pearson_validates() {
+        assert!(pearson(&[], &[]).is_err());
+        assert!(pearson(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn circular_correlation_is_shift_invariant() {
+        let n = 64;
+        let a: Vec<f64> = (0..n).map(|i| (2.0 * PI * i as f64 / 16.0).sin()).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            b[i] = a[(i + 7) % n];
+        }
+        let score = max_circular_correlation(&a, &b).unwrap();
+        assert!(score > 0.999, "score {score}");
+    }
+
+    #[test]
+    fn circular_correlation_distinguishes_different_shapes() {
+        let n = 128;
+        // Sine vs pseudo-random telegraph: low best correlation.
+        let a: Vec<f64> = (0..n).map(|i| (2.0 * PI * i as f64 / 16.0).sin()).collect();
+        let b: Vec<f64> = (0..n)
+            .map(|i| if (i * 2654435761usize) % 97 < 48 { 1.0 } else { -1.0 })
+            .collect();
+        let cross = max_circular_correlation(&a, &b).unwrap();
+        assert!(cross < 0.6, "cross {cross}");
+    }
+
+    #[test]
+    fn dominant_period_of_sine() {
+        let period = 40;
+        let x: Vec<f64> = (0..800)
+            .map(|i| (2.0 * PI * i as f64 / period as f64).sin())
+            .collect();
+        let p = dominant_period(&x, 200).unwrap();
+        assert!((p as i64 - period as i64).abs() <= 1, "period {p}");
+    }
+
+    #[test]
+    fn dominant_period_absent_for_constant() {
+        assert_eq!(dominant_period(&[1.0; 100], 50), None);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type shared by the DSP routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by DSP routines.
+///
+/// Display messages are lowercase without trailing punctuation per the Rust
+/// API guidelines (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DspError {
+    /// The input slice was empty where a non-empty signal is required.
+    EmptyInput,
+    /// A length argument was invalid (zero, or inconsistent with the data).
+    InvalidLength {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+        /// The value that was rejected.
+        got: usize,
+    },
+    /// A frequency argument fell outside the representable range
+    /// `[0, fs/2]`.
+    FrequencyOutOfRange {
+        /// The requested frequency in hertz.
+        freq_hz: f64,
+        /// The sample rate in hertz the frequency was checked against.
+        fs_hz: f64,
+    },
+    /// A parameter that must be strictly positive was not.
+    NonPositive {
+        /// Human-readable name of the offending parameter.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for DspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DspError::EmptyInput => write!(f, "input signal is empty"),
+            DspError::InvalidLength { what, got } => {
+                write!(f, "invalid length for {what}: {got}")
+            }
+            DspError::FrequencyOutOfRange { freq_hz, fs_hz } => write!(
+                f,
+                "frequency {freq_hz} Hz outside [0, {}] Hz",
+                fs_hz / 2.0
+            ),
+            DspError::NonPositive { what } => {
+                write!(f, "{what} must be strictly positive")
+            }
+        }
+    }
+}
+
+impl Error for DspError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        let msgs = [
+            DspError::EmptyInput.to_string(),
+            DspError::InvalidLength {
+                what: "fft size",
+                got: 0,
+            }
+            .to_string(),
+            DspError::FrequencyOutOfRange {
+                freq_hz: 1e9,
+                fs_hz: 1e6,
+            }
+            .to_string(),
+            DspError::NonPositive { what: "sample rate" }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        fn takes_err(_e: &(dyn Error + Send + Sync)) {}
+        takes_err(&DspError::EmptyInput);
+    }
+}

@@ -1,0 +1,336 @@
+//! FIR filter design and application.
+//!
+//! Windowed-sinc designs (low-pass and band-pass) plus linear convolution
+//! and decimation. The zero-span path uses a low-pass from here as its
+//! resolution-bandwidth filter, and the current-waveform synthesis uses
+//! convolution for pulse shaping.
+
+use crate::error::DspError;
+use crate::window::Window;
+use std::f64::consts::PI;
+
+/// A finite-impulse-response filter (its tap coefficients).
+///
+/// # Example
+///
+/// ```
+/// use psa_dsp::filter::FirFilter;
+/// use psa_dsp::window::Window;
+///
+/// // 1 MHz low-pass at 10 MS/s, 63 taps.
+/// let lp = FirFilter::low_pass(1.0e6, 10.0e6, 63, Window::Hamming)?;
+/// assert_eq!(lp.taps().len(), 63);
+/// // DC gain is unity.
+/// assert!((lp.taps().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+/// # Ok::<(), psa_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+}
+
+impl FirFilter {
+    /// Builds a filter directly from taps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if `taps` is empty.
+    pub fn from_taps(taps: Vec<f64>) -> Result<Self, DspError> {
+        if taps.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        Ok(FirFilter { taps })
+    }
+
+    /// Windowed-sinc low-pass with cutoff `cutoff_hz` at sample rate
+    /// `fs_hz`, `num_taps` taps (forced odd for a symmetric, linear-phase
+    /// type-I filter), normalized to unity DC gain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::FrequencyOutOfRange`] if `cutoff_hz` is not in
+    /// `(0, fs/2)`, [`DspError::NonPositive`] for a bad sample rate, or
+    /// [`DspError::InvalidLength`] when `num_taps == 0`.
+    pub fn low_pass(
+        cutoff_hz: f64,
+        fs_hz: f64,
+        num_taps: usize,
+        window: Window,
+    ) -> Result<Self, DspError> {
+        if fs_hz <= 0.0 {
+            return Err(DspError::NonPositive { what: "sample rate" });
+        }
+        if cutoff_hz <= 0.0 || cutoff_hz >= fs_hz / 2.0 {
+            return Err(DspError::FrequencyOutOfRange {
+                freq_hz: cutoff_hz,
+                fs_hz,
+            });
+        }
+        if num_taps == 0 {
+            return Err(DspError::InvalidLength {
+                what: "fir tap count",
+                got: 0,
+            });
+        }
+        let n = if num_taps % 2 == 0 { num_taps + 1 } else { num_taps };
+        let fc = cutoff_hz / fs_hz; // normalized (cycles/sample)
+        let mid = (n / 2) as isize;
+        let mut taps: Vec<f64> = (0..n)
+            .map(|i| {
+                let k = i as isize - mid;
+                if k == 0 {
+                    2.0 * fc
+                } else {
+                    (2.0 * PI * fc * k as f64).sin() / (PI * k as f64)
+                }
+            })
+            .collect();
+        // FIR design needs the symmetric window convention so the taps are
+        // exactly mirror-symmetric (linear phase).
+        let w = window.coefficients_symmetric(n);
+        for (t, wi) in taps.iter_mut().zip(&w) {
+            *t *= wi;
+        }
+        let sum: f64 = taps.iter().sum();
+        for t in &mut taps {
+            *t /= sum;
+        }
+        Ok(FirFilter { taps })
+    }
+
+    /// Windowed-sinc band-pass centred on `[f_lo, f_hi]`, normalized to
+    /// unity gain at the band centre.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FirFilter::low_pass`], plus
+    /// [`DspError::FrequencyOutOfRange`] when `f_lo >= f_hi`.
+    pub fn band_pass(
+        f_lo_hz: f64,
+        f_hi_hz: f64,
+        fs_hz: f64,
+        num_taps: usize,
+        window: Window,
+    ) -> Result<Self, DspError> {
+        if f_lo_hz >= f_hi_hz {
+            return Err(DspError::FrequencyOutOfRange {
+                freq_hz: f_lo_hz,
+                fs_hz,
+            });
+        }
+        let hi = FirFilter::low_pass(f_hi_hz, fs_hz, num_taps, window)?;
+        let lo = FirFilter::low_pass(f_lo_hz, fs_hz, num_taps, window)?;
+        let mut taps: Vec<f64> = hi
+            .taps
+            .iter()
+            .zip(&lo.taps)
+            .map(|(&h, &l)| h - l)
+            .collect();
+        // Normalize gain at band centre.
+        let fc = (f_lo_hz + f_hi_hz) / 2.0 / fs_hz;
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (k, &t) in taps.iter().enumerate() {
+            let ph = -2.0 * PI * fc * k as f64;
+            re += t * ph.cos();
+            im += t * ph.sin();
+        }
+        let gain = re.hypot(im);
+        if gain > 0.0 {
+            for t in &mut taps {
+                *t /= gain;
+            }
+        }
+        Ok(FirFilter { taps })
+    }
+
+    /// The filter taps.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Group delay in samples (for symmetric filters: `(len-1)/2`).
+    pub fn group_delay(&self) -> f64 {
+        (self.taps.len() as f64 - 1.0) / 2.0
+    }
+
+    /// Filters `signal`, returning a same-length output ("same" mode,
+    /// delay-compensated for symmetric filters).
+    pub fn filter(&self, signal: &[f64]) -> Vec<f64> {
+        let full = convolve(signal, &self.taps);
+        let delay = (self.taps.len() - 1) / 2;
+        full.into_iter()
+            .skip(delay)
+            .take(signal.len())
+            .collect()
+    }
+
+    /// Magnitude response at frequency `freq_hz` for sample rate `fs_hz`.
+    pub fn magnitude_at(&self, freq_hz: f64, fs_hz: f64) -> f64 {
+        let fc = freq_hz / fs_hz;
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (k, &t) in self.taps.iter().enumerate() {
+            let ph = -2.0 * PI * fc * k as f64;
+            re += t * ph.cos();
+            im += t * ph.sin();
+        }
+        re.hypot(im)
+    }
+}
+
+/// Full linear convolution; output length `a.len() + b.len() - 1`.
+///
+/// Empty inputs yield an empty output.
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0.0; a.len() + b.len() - 1];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0.0 {
+            continue;
+        }
+        for (j, &bj) in b.iter().enumerate() {
+            out[i + j] += ai * bj;
+        }
+    }
+    out
+}
+
+/// Keeps every `factor`-th sample.
+///
+/// # Errors
+///
+/// Returns [`DspError::NonPositive`] when `factor == 0`.
+pub fn decimate(signal: &[f64], factor: usize) -> Result<Vec<f64>, DspError> {
+    if factor == 0 {
+        return Err(DspError::NonPositive {
+            what: "decimation factor",
+        });
+    }
+    Ok(signal.iter().step_by(factor).copied().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn convolve_identity() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(convolve(&x, &[1.0]), x);
+    }
+
+    #[test]
+    fn convolve_known_result() {
+        // [1,2] * [3,4] = [3, 10, 8]
+        assert_eq!(convolve(&[1.0, 2.0], &[3.0, 4.0]), vec![3.0, 10.0, 8.0]);
+    }
+
+    #[test]
+    fn convolve_commutes() {
+        let a = vec![1.0, -2.0, 0.5, 3.0];
+        let b = vec![0.2, 0.7, -1.1];
+        assert_eq!(convolve(&a, &b), convolve(&b, &a));
+    }
+
+    #[test]
+    fn convolve_empty() {
+        assert!(convolve(&[], &[1.0]).is_empty());
+        assert!(convolve(&[1.0], &[]).is_empty());
+    }
+
+    #[test]
+    fn low_pass_passes_low_blocks_high() {
+        let fs = 1.0e6;
+        let lp = FirFilter::low_pass(50e3, fs, 101, Window::Hamming).unwrap();
+        assert!(lp.magnitude_at(0.0, fs) > 0.999);
+        assert!(lp.magnitude_at(10e3, fs) > 0.95);
+        assert!(lp.magnitude_at(200e3, fs) < 0.01);
+        assert!(lp.magnitude_at(450e3, fs) < 0.01);
+    }
+
+    #[test]
+    fn low_pass_attenuates_high_tone_in_time_domain() {
+        let fs = 1.0e6;
+        let lp = FirFilter::low_pass(50e3, fs, 101, Window::Hamming).unwrap();
+        let n = 4096;
+        let low: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 10e3 * i as f64 / fs).sin())
+            .collect();
+        let high: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * 300e3 * i as f64 / fs).sin())
+            .collect();
+        let rms = |v: &[f64]| {
+            (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        // Skip the transient at both ends.
+        let y_low = lp.filter(&low);
+        let y_high = lp.filter(&high);
+        assert!(rms(&y_low[200..n - 200]) > 0.65);
+        assert!(rms(&y_high[200..n - 200]) < 0.01);
+    }
+
+    #[test]
+    fn band_pass_selects_band() {
+        let fs = 264.0e6;
+        // The zero-span use case: select 48 MHz +- 2 MHz.
+        let bp = FirFilter::band_pass(46e6, 50e6, fs, 201, Window::Hamming).unwrap();
+        assert!(bp.magnitude_at(48e6, fs) > 0.95);
+        assert!(bp.magnitude_at(33e6, fs) < 0.02);
+        assert!(bp.magnitude_at(66e6, fs) < 0.02);
+        assert!(bp.magnitude_at(0.0, fs) < 0.01);
+    }
+
+    #[test]
+    fn design_validation() {
+        assert!(FirFilter::low_pass(0.0, 1e6, 11, Window::Hann).is_err());
+        assert!(FirFilter::low_pass(6e5, 1e6, 11, Window::Hann).is_err());
+        assert!(FirFilter::low_pass(1e3, 0.0, 11, Window::Hann).is_err());
+        assert!(FirFilter::low_pass(1e3, 1e6, 0, Window::Hann).is_err());
+        assert!(FirFilter::band_pass(5e4, 4e4, 1e6, 11, Window::Hann).is_err());
+        assert!(FirFilter::from_taps(vec![]).is_err());
+    }
+
+    #[test]
+    fn even_tap_request_is_made_odd() {
+        let lp = FirFilter::low_pass(1e3, 1e6, 10, Window::Hann).unwrap();
+        assert_eq!(lp.taps().len() % 2, 1);
+    }
+
+    #[test]
+    fn filter_output_length_matches_input() {
+        let lp = FirFilter::low_pass(1e3, 1e6, 21, Window::Hann).unwrap();
+        let x = vec![1.0; 100];
+        assert_eq!(lp.filter(&x).len(), 100);
+    }
+
+    #[test]
+    fn filter_dc_gain_unity() {
+        let lp = FirFilter::low_pass(1e3, 1e6, 31, Window::Blackman).unwrap();
+        let x = vec![2.5; 400];
+        let y = lp.filter(&x);
+        // Steady-state (after the transient) equals the input level.
+        assert!((y[200] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decimate_keeps_every_kth() {
+        let x: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        assert_eq!(decimate(&x, 3).unwrap(), vec![0.0, 3.0, 6.0, 9.0]);
+        assert!(decimate(&x, 0).is_err());
+        assert_eq!(decimate(&x, 1).unwrap(), x);
+    }
+
+    #[test]
+    fn taps_are_symmetric() {
+        let lp = FirFilter::low_pass(20e3, 1e6, 41, Window::Blackman).unwrap();
+        let t = lp.taps();
+        for i in 0..t.len() / 2 {
+            assert!((t[i] - t[t.len() - 1 - i]).abs() < 1e-12);
+        }
+        assert!((lp.group_delay() - 20.0).abs() < 1e-12);
+    }
+}

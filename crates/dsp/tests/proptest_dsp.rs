@@ -1,0 +1,148 @@
+//! Property-based tests for the DSP substrate.
+
+use proptest::prelude::*;
+use psa_dsp::window::Window;
+use psa_dsp::{correlate, fft, filter, spectrum, stats, Complex};
+
+fn finite_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0e3..1.0e3f64, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// fft followed by ifft returns the original signal.
+    #[test]
+    fn fft_ifft_roundtrip(re in prop::collection::vec(-1.0e3..1.0e3f64, 1..257)) {
+        let orig: Vec<Complex> = re.iter().map(|&r| Complex::new(r, -r * 0.5)).collect();
+        let spec = fft::fft_any(&orig).unwrap();
+        let back = fft::ifft_any(&spec).unwrap();
+        for (a, b) in back.iter().zip(&orig) {
+            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    /// Parseval: time-domain energy equals frequency-domain energy / N.
+    #[test]
+    fn parseval_holds(x in finite_signal(300)) {
+        let spec = fft::rfft(&x).unwrap();
+        let te: f64 = x.iter().map(|v| v * v).sum();
+        let fe: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        prop_assert!((te - fe).abs() <= 1e-6 * (1.0 + te));
+    }
+
+    /// FFT linearity: F(a+b) == F(a) + F(b).
+    #[test]
+    fn fft_linearity(
+        a in prop::collection::vec(-100.0..100.0f64, 64),
+        b in prop::collection::vec(-100.0..100.0f64, 64),
+    ) {
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = fft::rfft(&a).unwrap();
+        let fb = fft::rfft(&b).unwrap();
+        let fs = fft::rfft(&sum).unwrap();
+        for k in 0..64 {
+            prop_assert!((fs[k] - (fa[k] + fb[k])).abs() < 1e-6);
+        }
+    }
+
+    /// Real-input FFT spectra are conjugate-symmetric.
+    #[test]
+    fn rfft_symmetry(x in finite_signal(200)) {
+        let spec = fft::rfft(&x).unwrap();
+        let n = spec.len();
+        for k in 1..n / 2 {
+            let d = spec[n - k] - spec[k].conj();
+            prop_assert!(d.abs() < 1e-6 * (1.0 + spec[k].abs()));
+        }
+    }
+
+    /// Amplitude spectrum values are non-negative and finite.
+    #[test]
+    fn amplitude_spectrum_nonnegative(x in finite_signal(256)) {
+        let s = spectrum::amplitude_spectrum(&x, Window::Hann);
+        prop_assert!(s.iter().all(|&v| v >= 0.0 && v.is_finite()));
+    }
+
+    /// Convolution is commutative.
+    #[test]
+    fn convolution_commutes(
+        a in prop::collection::vec(-10.0..10.0f64, 1..40),
+        b in prop::collection::vec(-10.0..10.0f64, 1..40),
+    ) {
+        let ab = filter::convolve(&a, &b);
+        let ba = filter::convolve(&b, &a);
+        prop_assert_eq!(ab.len(), ba.len());
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// RMS is invariant to sign flips and scales linearly with gain.
+    #[test]
+    fn rms_properties(x in finite_signal(200), k in 0.01..100.0f64) {
+        let flipped: Vec<f64> = x.iter().map(|v| -v).collect();
+        prop_assert!((stats::rms(&x) - stats::rms(&flipped)).abs() < 1e-9);
+        let scaled: Vec<f64> = x.iter().map(|v| v * k).collect();
+        prop_assert!((stats::rms(&scaled) - k * stats::rms(&x)).abs() < 1e-6 * (1.0 + stats::rms(&x) * k));
+    }
+
+    /// Percentiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn percentile_monotone(x in finite_signal(100)) {
+        let (lo, hi) = stats::min_max(&x);
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let v = stats::percentile(&x, p);
+            prop_assert!(v >= prev - 1e-12);
+            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+            prev = v;
+        }
+    }
+
+    /// Pearson correlation is symmetric and bounded.
+    #[test]
+    fn pearson_bounds(
+        a in prop::collection::vec(-100.0..100.0f64, 3..50),
+    ) {
+        let b: Vec<f64> = a.iter().map(|v| v * 2.0 + 1.0).collect();
+        let r = correlate::pearson(&a, &b).unwrap();
+        prop_assert!(r <= 1.0 + 1e-9);
+        // A positive affine map gives correlation 1 (or 0 if degenerate).
+        prop_assert!(r > 0.999 || r == 0.0);
+        let rab = correlate::pearson(&a, &b).unwrap();
+        let rba = correlate::pearson(&b, &a).unwrap();
+        prop_assert!((rab - rba).abs() < 1e-12);
+    }
+
+    /// Welford running stats match batch stats.
+    #[test]
+    fn running_matches_batch(x in finite_signal(300)) {
+        let mut r = stats::Running::new();
+        for &v in &x {
+            r.push(v);
+        }
+        prop_assert!((r.mean() - stats::mean(&x)).abs() < 1e-6 * (1.0 + stats::mean(&x).abs()));
+        prop_assert!((r.variance() - stats::variance(&x)).abs() < 1e-5 * (1.0 + stats::variance(&x)));
+    }
+
+    /// Window coherent gain is in (0, 1] for every window.
+    #[test]
+    fn window_gains_bounded(n in 2usize..512) {
+        for w in Window::ALL {
+            let cg = w.coherent_gain(n);
+            prop_assert!(cg > 0.0 && cg <= 1.0 + 1e-12, "{} cg={}", w, cg);
+            let ng = w.noise_gain(n);
+            prop_assert!(ng > 0.0 && ng <= 1.0 + 1e-12);
+        }
+    }
+
+    /// Resampling a constant series stays constant.
+    #[test]
+    fn resample_constant(v in -100.0..100.0f64, n in 1usize..50, m in 1usize..200) {
+        let series = vec![v; n];
+        let out = spectrum::resample_linear(&series, m).unwrap();
+        prop_assert_eq!(out.len(), m);
+        prop_assert!(out.iter().all(|&o| (o - v).abs() < 1e-9));
+    }
+}

@@ -1,0 +1,182 @@
+//! Biot–Savart fields of straight wire segments.
+//!
+//! Used for wire-level sanity checks (the PSA lattice wires themselves)
+//! and as an independent cross-check of the dipole model: a small square
+//! current loop built from four segments must reproduce the dipole far
+//! field.
+
+use psa_layout::Point;
+
+/// µ0/4π in SI (T·m/A).
+pub const MU0_OVER_4PI: f64 = 1.0e-7;
+/// Microns to meters.
+pub const UM: f64 = 1.0e-6;
+
+/// A straight current segment in 3-D (µm endpoints, amperes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    /// Start point, µm (x, y, z).
+    pub a: [f64; 3],
+    /// End point, µm.
+    pub b: [f64; 3],
+    /// Current from `a` to `b`, amperes.
+    pub current: f64,
+}
+
+impl Segment {
+    /// Creates a segment carrying `current` amperes from `a` to `b`.
+    pub fn new(a: [f64; 3], b: [f64; 3], current: f64) -> Self {
+        Segment { a, b, current }
+    }
+
+    /// Magnetic field (tesla, `[Bx, By, Bz]`) at point `p` (µm), by the
+    /// closed-form finite-segment Biot–Savart expression.
+    pub fn field_at(&self, p: [f64; 3]) -> [f64; 3] {
+        // Work in meters.
+        let a = [self.a[0] * UM, self.a[1] * UM, self.a[2] * UM];
+        let b = [self.b[0] * UM, self.b[1] * UM, self.b[2] * UM];
+        let r = [p[0] * UM, p[1] * UM, p[2] * UM];
+        let ab = sub(b, a);
+        let len = norm(ab);
+        if len == 0.0 {
+            return [0.0; 3];
+        }
+        let u = scale(ab, 1.0 / len);
+        let ap = sub(r, a);
+        let bp = sub(r, b);
+        // Perpendicular distance vector from the wire line to p.
+        let along = dot(ap, u);
+        let perp = sub(ap, scale(u, along));
+        let d = norm(perp);
+        if d < 1e-15 {
+            return [0.0; 3]; // on the wire axis: singular, return 0
+        }
+        // |B| = (µ0 I / 4π d)(sinθ2 - sinθ1); direction u × d̂.
+        let sin1 = along / norm(ap);
+        let sin2 = dot(bp, u) / norm(bp);
+        let mag = MU0_OVER_4PI * self.current / d * (sin1 - sin2);
+        let dir = cross(u, scale(perp, 1.0 / d));
+        scale(dir, mag)
+    }
+}
+
+/// A closed rectangular loop of current in the z = `z_um` plane, as four
+/// segments (counter-clockwise seen from +z).
+pub fn rect_loop(center: Point, w_um: f64, h_um: f64, z_um: f64, current: f64) -> [Segment; 4] {
+    let x0 = center.x - w_um / 2.0;
+    let x1 = center.x + w_um / 2.0;
+    let y0 = center.y - h_um / 2.0;
+    let y1 = center.y + h_um / 2.0;
+    [
+        Segment::new([x0, y0, z_um], [x1, y0, z_um], current),
+        Segment::new([x1, y0, z_um], [x1, y1, z_um], current),
+        Segment::new([x1, y1, z_um], [x0, y1, z_um], current),
+        Segment::new([x0, y1, z_um], [x0, y0, z_um], current),
+    ]
+}
+
+/// Total field of several segments at a point (µm), tesla.
+pub fn field_of(segments: &[Segment], p: [f64; 3]) -> [f64; 3] {
+    let mut b = [0.0; 3];
+    for s in segments {
+        let f = s.field_at(p);
+        b[0] += f[0];
+        b[1] += f[1];
+        b[2] += f[2];
+    }
+    b
+}
+
+fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+    [
+        a[1] * b[2] - a[2] * b[1],
+        a[2] * b[0] - a[0] * b[2],
+        a[0] * b[1] - a[1] * b[0],
+    ]
+}
+fn scale(a: [f64; 3], k: f64) -> [f64; 3] {
+    [a[0] * k, a[1] * k, a[2] * k]
+}
+fn norm(a: [f64; 3]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dipole::Dipole;
+
+    #[test]
+    fn infinite_wire_limit() {
+        // A very long wire: B = µ0 I / 2π d.
+        let s = Segment::new([-1.0e6, 0.0, 0.0], [1.0e6, 0.0, 0.0], 2.0);
+        let d_um = 100.0;
+        let b = s.field_at([0.0, d_um, 0.0]);
+        let expected = 2.0 * MU0_OVER_4PI * 2.0 / (d_um * UM);
+        // Field should be purely ±z here (wire along x, point along y).
+        assert!(b[0].abs() < expected * 1e-9);
+        assert!(b[1].abs() < expected * 1e-9);
+        assert!((b[2].abs() - expected).abs() / expected < 1e-6);
+    }
+
+    #[test]
+    fn field_reverses_with_current() {
+        let s1 = Segment::new([0.0, 0.0, 0.0], [100.0, 0.0, 0.0], 1.0);
+        let s2 = Segment::new([0.0, 0.0, 0.0], [100.0, 0.0, 0.0], -1.0);
+        let p = [50.0, 30.0, 10.0];
+        let b1 = s1.field_at(p);
+        let b2 = s2.field_at(p);
+        for i in 0..3 {
+            assert!((b1[i] + b2[i]).abs() < 1e-20);
+        }
+    }
+
+    #[test]
+    fn square_loop_center_field() {
+        // B at the centre of a square loop of side a:
+        // B = 2√2 µ0 I / (π a).
+        let a_um = 200.0;
+        let loop_segs = rect_loop(Point::ORIGIN, a_um, a_um, 0.0, 1.0);
+        let b = field_of(&loop_segs, [0.0, 0.0, 0.0]);
+        let expected = 2.0 * 2f64.sqrt() * (4.0 * std::f64::consts::PI * MU0_OVER_4PI)
+            / (std::f64::consts::PI * a_um * UM);
+        assert!((b[2] - expected).abs() / expected < 1e-9, "{} vs {expected}", b[2]);
+        assert!(b[0].abs() < expected * 1e-9);
+    }
+
+    #[test]
+    fn small_loop_matches_dipole_far_field() {
+        // A 2 µm square loop with 1 mA looks like a dipole with
+        // m = I·A = 1e-3 · 4e-12 = 4e-15 A·m² from far away.
+        let i = 1.0e-3;
+        let side = 2.0;
+        let m = i * (side * UM) * (side * UM);
+        let loop_segs = rect_loop(Point::ORIGIN, side, side, 0.0, i);
+        let dip = Dipole::new(Point::ORIGIN, m);
+        for z in [30.0, 80.0, 200.0] {
+            let b_loop = field_of(&loop_segs, [0.0, 0.0, z])[2];
+            let b_dip = dip.bz_at(Point::ORIGIN, z);
+            let rel = (b_loop - b_dip).abs() / b_dip.abs();
+            assert!(rel < 0.01, "z={z}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn degenerate_segment_is_silent() {
+        let s = Segment::new([1.0, 1.0, 0.0], [1.0, 1.0, 0.0], 5.0);
+        assert_eq!(s.field_at([0.0, 0.0, 10.0]), [0.0; 3]);
+    }
+
+    #[test]
+    fn on_axis_point_returns_zero_not_nan() {
+        let s = Segment::new([0.0, 0.0, 0.0], [100.0, 0.0, 0.0], 1.0);
+        let b = s.field_at([50.0, 0.0, 0.0]);
+        assert_eq!(b, [0.0; 3]);
+    }
+}

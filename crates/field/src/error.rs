@@ -1,0 +1,50 @@
+//! Error type for the EM-field substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by field and coupling computations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FieldError {
+    /// A geometric or physical parameter was invalid.
+    InvalidParameter {
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// A coupling matrix was queried with mismatched dimensions.
+    DimensionMismatch {
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        got: usize,
+    },
+}
+
+impl fmt::Display for FieldError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldError::InvalidParameter { what } => {
+                write!(f, "invalid parameter: {what}")
+            }
+            FieldError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl Error for FieldError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        assert!(!FieldError::InvalidParameter { what: "z" }.to_string().is_empty());
+        assert!(FieldError::DimensionMismatch { expected: 3, got: 2 }
+            .to_string()
+            .contains('3'));
+    }
+}

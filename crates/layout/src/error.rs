@@ -1,0 +1,78 @@
+//! Error type for layout operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by layout construction and queries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LayoutError {
+    /// A rectangle was constructed with non-positive extent.
+    DegenerateRect {
+        /// Width that was requested (µm).
+        width_um: f64,
+        /// Height that was requested (µm).
+        height_um: f64,
+    },
+    /// A polygon needs at least three vertices.
+    TooFewVertices {
+        /// Number of vertices supplied.
+        got: usize,
+    },
+    /// A module or layer lookup failed.
+    NotFound {
+        /// What was looked up.
+        what: &'static str,
+    },
+    /// A placement request did not fit its region.
+    RegionOverflow {
+        /// Cells requested.
+        requested: usize,
+        /// Cells that fit.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::DegenerateRect { width_um, height_um } => {
+                write!(f, "degenerate rectangle {width_um} x {height_um} um")
+            }
+            LayoutError::TooFewVertices { got } => {
+                write!(f, "polygon needs at least 3 vertices, got {got}")
+            }
+            LayoutError::NotFound { what } => write!(f, "{what} not found"),
+            LayoutError::RegionOverflow { requested, capacity } => write!(
+                f,
+                "placement overflow: {requested} cells requested, {capacity} fit"
+            ),
+        }
+    }
+}
+
+impl Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_render() {
+        for e in [
+            LayoutError::DegenerateRect {
+                width_um: 0.0,
+                height_um: 1.0,
+            },
+            LayoutError::TooFewVertices { got: 2 },
+            LayoutError::NotFound { what: "module" },
+            LayoutError::RegionOverflow {
+                requested: 10,
+                capacity: 5,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(!e.to_string().ends_with('.'));
+        }
+    }
+}

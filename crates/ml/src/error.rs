@@ -1,0 +1,69 @@
+//! Error type for the ML substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the ML routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// The training or input set was empty.
+    EmptyInput,
+    /// Rows have inconsistent dimensionality.
+    DimensionMismatch {
+        /// Dimensionality expected (from the first row or the model).
+        expected: usize,
+        /// Dimensionality found.
+        got: usize,
+    },
+    /// A hyper-parameter was invalid for the given data.
+    InvalidParameter {
+        /// Human-readable name of the parameter.
+        what: &'static str,
+        /// The offending value.
+        got: usize,
+    },
+    /// An iterative routine failed to converge.
+    NoConvergence {
+        /// The routine that failed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyInput => write!(f, "input data set is empty"),
+            MlError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            MlError::InvalidParameter { what, got } => {
+                write!(f, "invalid {what}: {got}")
+            }
+            MlError::NoConvergence { what } => {
+                write!(f, "{what} failed to converge")
+            }
+        }
+    }
+}
+
+impl Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_no_period() {
+        for e in [
+            MlError::EmptyInput,
+            MlError::DimensionMismatch { expected: 3, got: 2 },
+            MlError::InvalidParameter { what: "k", got: 0 },
+            MlError::NoConvergence { what: "jacobi eigensolver" },
+        ] {
+            let m = e.to_string();
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! k-nearest-neighbour classification and nearest-template matching.
+//!
+//! The identification stage (paper Fig 5) stores one or more labelled
+//! envelope-feature templates per Trojan class and assigns new envelopes
+//! to the nearest template(s). k-NN with k=1 *is* nearest-template
+//! matching; larger k adds robustness when several templates per class
+//! are available.
+
+use crate::distance::euclidean;
+use crate::error::MlError;
+
+/// A k-NN classifier over `Vec<f64>` feature vectors with `usize` labels.
+///
+/// # Example
+///
+/// ```
+/// use psa_ml::knn::Knn;
+/// let train = vec![vec![0.0], vec![0.2], vec![10.0], vec![10.2]];
+/// let labels = vec![0, 0, 1, 1];
+/// let knn = Knn::fit(train, labels, 1)?;
+/// assert_eq!(knn.predict(&[0.1])?, 0);
+/// assert_eq!(knn.predict(&[9.9])?, 1);
+/// # Ok::<(), psa_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Knn {
+    samples: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    k: usize,
+}
+
+impl Knn {
+    /// Builds a classifier from training samples and labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyInput`] with no samples,
+    /// [`MlError::DimensionMismatch`] if label and sample counts differ or
+    /// rows are ragged, and [`MlError::InvalidParameter`] when `k` is zero
+    /// or exceeds the sample count.
+    pub fn fit(
+        samples: Vec<Vec<f64>>,
+        labels: Vec<usize>,
+        k: usize,
+    ) -> Result<Self, MlError> {
+        if samples.is_empty() {
+            return Err(MlError::EmptyInput);
+        }
+        if samples.len() != labels.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: samples.len(),
+                got: labels.len(),
+            });
+        }
+        let d = samples[0].len();
+        for s in &samples {
+            if s.len() != d {
+                return Err(MlError::DimensionMismatch {
+                    expected: d,
+                    got: s.len(),
+                });
+            }
+        }
+        if k == 0 || k > samples.len() {
+            return Err(MlError::InvalidParameter {
+                what: "knn neighbour count",
+                got: k,
+            });
+        }
+        Ok(Knn { samples, labels, k })
+    }
+
+    /// Number of stored training samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` if the classifier holds no samples (unreachable via `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Predicts the label of `sample` by majority vote among the k nearest
+    /// training points (ties broken toward the nearest neighbour's label).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] when the query
+    /// dimensionality differs from the training data.
+    pub fn predict(&self, sample: &[f64]) -> Result<usize, MlError> {
+        Ok(self.predict_with_distance(sample)?.0)
+    }
+
+    /// Predicts the label and also returns the distance to the single
+    /// nearest neighbour (useful as a confidence measure: large distance
+    /// means "none of the templates match well" — an *unknown* Trojan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] when the query
+    /// dimensionality differs from the training data.
+    pub fn predict_with_distance(&self, sample: &[f64]) -> Result<(usize, f64), MlError> {
+        let d = self.samples[0].len();
+        if sample.len() != d {
+            return Err(MlError::DimensionMismatch {
+                expected: d,
+                got: sample.len(),
+            });
+        }
+        let mut dists: Vec<(f64, usize)> = self
+            .samples
+            .iter()
+            .zip(&self.labels)
+            .map(|(s, &l)| (euclidean(s, sample), l))
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let nearest = dists[0];
+        let mut votes: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for &(_, l) in dists.iter().take(self.k) {
+            *votes.entry(l).or_insert(0) += 1;
+        }
+        let max_votes = votes.values().copied().max().expect("k >= 1");
+        // Tie-break toward the nearest neighbour's label.
+        let label = if votes.get(&nearest.1) == Some(&max_votes) {
+            nearest.1
+        } else {
+            *votes
+                .iter()
+                .max_by_key(|(_, &v)| v)
+                .map(|(l, _)| l)
+                .expect("non-empty votes")
+        };
+        Ok((label, nearest.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classifier(k: usize) -> Knn {
+        let train = vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.0],
+            vec![0.0, 0.5],
+            vec![10.0, 10.0],
+            vec![10.5, 10.0],
+            vec![10.0, 10.5],
+        ];
+        Knn::fit(train, vec![0, 0, 0, 1, 1, 1], k).unwrap()
+    }
+
+    #[test]
+    fn one_nn_nearest_template() {
+        let knn = classifier(1);
+        assert_eq!(knn.predict(&[0.1, 0.1]).unwrap(), 0);
+        assert_eq!(knn.predict(&[9.8, 10.1]).unwrap(), 1);
+    }
+
+    #[test]
+    fn three_nn_majority() {
+        let knn = classifier(3);
+        assert_eq!(knn.predict(&[0.2, 0.2]).unwrap(), 0);
+        assert_eq!(knn.predict(&[10.2, 10.2]).unwrap(), 1);
+    }
+
+    #[test]
+    fn distance_reported() {
+        let knn = classifier(1);
+        let (label, dist) = knn.predict_with_distance(&[0.0, 0.0]).unwrap();
+        assert_eq!(label, 0);
+        assert_eq!(dist, 0.0);
+        let (_, far) = knn.predict_with_distance(&[100.0, 100.0]).unwrap();
+        assert!(far > 100.0);
+    }
+
+    #[test]
+    fn tie_breaks_toward_nearest() {
+        // k=2 with one vote each: nearest label wins.
+        let train = vec![vec![0.0], vec![1.0]];
+        let knn = Knn::fit(train, vec![7, 8], 2).unwrap();
+        assert_eq!(knn.predict(&[0.1]).unwrap(), 7);
+        assert_eq!(knn.predict(&[0.9]).unwrap(), 8);
+    }
+
+    #[test]
+    fn validates_arguments() {
+        assert!(Knn::fit(vec![], vec![], 1).is_err());
+        assert!(Knn::fit(vec![vec![1.0]], vec![0, 1], 1).is_err());
+        assert!(Knn::fit(vec![vec![1.0], vec![1.0, 2.0]], vec![0, 1], 1).is_err());
+        assert!(Knn::fit(vec![vec![1.0]], vec![0], 0).is_err());
+        assert!(Knn::fit(vec![vec![1.0]], vec![0], 2).is_err());
+        let knn = classifier(1);
+        assert!(knn.predict(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn len_reports_training_size() {
+        let knn = classifier(1);
+        assert_eq!(knn.len(), 6);
+        assert!(!knn.is_empty());
+    }
+}

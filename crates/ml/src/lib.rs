@@ -1,0 +1,46 @@
+//! Minimal machine-learning substrate for the PSA reproduction.
+//!
+//! The paper's comparison baselines and identification stage need a small
+//! amount of classical ML:
+//!
+//! * Nguyen et al. (HOST'20), the backscattering baseline in Table I, uses
+//!   **Principal Component Analysis** and **K-means** to cluster spectra —
+//!   see [`pca`] and [`kmeans`].
+//! * The cross-domain identification stage classifies zero-span envelopes
+//!   with nearest-template / **k-NN** matching ([`knn`]) and validates the
+//!   clustering with silhouette scores ([`metrics`]).
+//!
+//! Everything is implemented from scratch on plain `Vec<f64>` rows — the
+//! feature dimensionality here is tiny (tens), so clarity wins over BLAS.
+//!
+//! # Example
+//!
+//! ```
+//! use psa_ml::kmeans::KMeans;
+//!
+//! // Two obvious blobs.
+//! let data = vec![
+//!     vec![0.0, 0.1], vec![0.1, -0.1], vec![-0.1, 0.0],
+//!     vec![5.0, 5.1], vec![5.1, 4.9], vec![4.9, 5.0],
+//! ];
+//! let fit = KMeans::new(2).with_seed(7).fit(&data)?;
+//! assert_eq!(fit.assignments()[0], fit.assignments()[1]);
+//! assert_ne!(fit.assignments()[0], fit.assignments()[3]);
+//! # Ok::<(), psa_ml::MlError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod error;
+pub mod kmeans;
+pub mod knn;
+pub mod matrix;
+pub mod metrics;
+pub mod pca;
+pub mod scaler;
+
+pub use error::MlError;
+pub use kmeans::KMeans;
+pub use pca::Pca;

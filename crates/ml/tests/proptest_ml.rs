@@ -1,0 +1,112 @@
+//! Property-based tests for the ML substrate.
+
+use proptest::prelude::*;
+use psa_ml::distance;
+use psa_ml::kmeans::KMeans;
+use psa_ml::matrix::Matrix;
+use psa_ml::pca::Pca;
+use psa_ml::scaler::StandardScaler;
+
+fn dataset(
+    rows: std::ops::Range<usize>,
+    dim: usize,
+) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(prop::collection::vec(-100.0..100.0f64, dim), rows)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Euclidean distance satisfies the metric axioms on random triples.
+    #[test]
+    fn euclidean_is_a_metric(
+        a in prop::collection::vec(-1e3..1e3f64, 4),
+        b in prop::collection::vec(-1e3..1e3f64, 4),
+        c in prop::collection::vec(-1e3..1e3f64, 4),
+    ) {
+        let dab = distance::euclidean(&a, &b);
+        let dba = distance::euclidean(&b, &a);
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!(distance::euclidean(&a, &a) == 0.0);
+        let dac = distance::euclidean(&a, &c);
+        let dbc = distance::euclidean(&b, &c);
+        prop_assert!(dac <= dab + dbc + 1e-9);
+    }
+
+    /// Jacobi eigendecomposition reconstructs random symmetric matrices.
+    #[test]
+    fn eigen_reconstruction(vals in prop::collection::vec(-50.0..50.0f64, 6)) {
+        // Build a symmetric matrix from the random values.
+        let n = 3;
+        let mut m = Matrix::zeros(n, n);
+        let mut it = vals.into_iter();
+        for i in 0..n {
+            for j in i..n {
+                let v = it.next().unwrap();
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        let (ev, vecs) = m.symmetric_eigen().unwrap();
+        let mut lambda = Matrix::zeros(n, n);
+        for i in 0..n {
+            lambda.set(i, i, ev[i]);
+        }
+        let recon = vecs.matmul(&lambda).unwrap().matmul(&vecs.transpose()).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert!((recon.get(i, j) - m.get(i, j)).abs() < 1e-7);
+            }
+        }
+        // Eigenvalues sorted descending.
+        for w in ev.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    /// PCA explained variance ratios are in [0,1] and sum to <= 1.
+    #[test]
+    fn pca_variance_ratios_bounded(data in dataset(4..20, 3)) {
+        let pca = Pca::fit(&data, 2).unwrap();
+        let ev = pca.explained_variance_ratio();
+        let sum: f64 = ev.iter().sum();
+        prop_assert!(ev.iter().all(|&v| (-1e-12..=1.0 + 1e-9).contains(&v)));
+        prop_assert!(sum <= 1.0 + 1e-9);
+    }
+
+    /// K-means inertia never increases when k grows.
+    #[test]
+    fn kmeans_inertia_monotone(data in dataset(6..24, 2)) {
+        let i1 = KMeans::new(1).with_seed(5).fit(&data).unwrap().inertia();
+        let i2 = KMeans::new(2).with_seed(5).fit(&data).unwrap().inertia();
+        let i3 = KMeans::new(3).with_seed(5).fit(&data).unwrap().inertia();
+        // Allow tiny numeric slack; k-means++ with restarts is near-monotone.
+        prop_assert!(i2 <= i1 * 1.001 + 1e-9);
+        prop_assert!(i3 <= i2 * 1.05 + 1e-6);
+    }
+
+    /// Every k-means assignment indexes a valid centroid, and predict on a
+    /// training point returns its assignment.
+    #[test]
+    fn kmeans_assignments_consistent(data in dataset(5..20, 2)) {
+        let fit = KMeans::new(2).with_seed(11).fit(&data).unwrap();
+        for (i, row) in data.iter().enumerate() {
+            let a = fit.assignments()[i];
+            prop_assert!(a < 2);
+            prop_assert_eq!(fit.predict(row), a);
+        }
+    }
+
+    /// Scaler transform/inverse-transform round-trips.
+    #[test]
+    fn scaler_roundtrip(data in dataset(2..20, 3)) {
+        let scaler = StandardScaler::fit(&data).unwrap();
+        for row in &data {
+            let t = scaler.transform_one(row).unwrap();
+            let back = scaler.inverse_transform_one(&t).unwrap();
+            for (a, b) in back.iter().zip(row) {
+                prop_assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()));
+            }
+        }
+    }
+}

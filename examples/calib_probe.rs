@@ -1,0 +1,14 @@
+//! Calibration probe: prints the Eq. (1) SNR of every sensing selection.
+use psa_core::chip::{SensorSelect, TestChip};
+use psa_core::snr::snr_comparison;
+
+fn main() {
+    let chip = TestChip::date24();
+    for m in snr_comparison(&chip, 3).expect("snr comparison") {
+        println!(
+            "{:-35} signal {:.3e} V  noise {:.3e} V  SNR {:+.1} dB",
+            m.label, m.signal_vrms, m.noise_vrms, m.snr_db
+        );
+    }
+    let _ = SensorSelect::Psa(0);
+}

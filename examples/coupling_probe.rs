@@ -1,0 +1,18 @@
+//! Prints each source's strongest-coupling sensors (localization ground truth).
+use psa_core::chip::{SensorSelect, TestChip};
+use psa_gatesim::activity::Source;
+
+fn main() {
+    let chip = TestChip::date24();
+    let cols: Vec<Vec<f64>> = (0..16)
+        .map(|s| chip.couplings_for(SensorSelect::Psa(s)).unwrap())
+        .collect();
+    for (i, src) in Source::ALL.iter().enumerate() {
+        let mut ks: Vec<(usize, f64)> = (0..16).map(|s| (s, cols[s][i].abs())).collect();
+        ks.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!(
+            "{src:?}: top sensors {:?}",
+            ks.iter().take(4).map(|(s, k)| (*s, format!("{k:.2e}"))).collect::<Vec<_>>()
+        );
+    }
+}

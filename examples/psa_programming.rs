@@ -1,0 +1,100 @@
+//! Programming the sensor array: shapes, sizes, impedance, overhead,
+//! and tamper checks.
+//!
+//! ```text
+//! cargo run --release --example psa_programming
+//! ```
+//!
+//! Walks the PSA hardware model itself (paper Secs. III–V): program a
+//! simple rectangle, the Fig 1b 2-turn coil, and a preset 6-turn sensor;
+//! inspect series resistance and |Z(f)|; account for area/routing
+//! overhead; and run the Sec. IV tamper-resilience checks.
+
+use psa_repro::array::coil::{extract_coil, program_spiral, program_two_turn};
+use psa_repro::array::impedance::CoilImpedance;
+use psa_repro::array::lattice::Lattice;
+use psa_repro::array::overhead::overhead;
+use psa_repro::array::program::{decode_psa_sel, SwitchMatrix};
+use psa_repro::array::tgate::TGate;
+use psa_repro::array::validate::structural_check;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lattice = Lattice::date24();
+    let tgate = TGate::date24();
+    println!(
+        "lattice: {}x{} wires, {} T-gate switches, {:.1} um pitch",
+        lattice.rows(),
+        lattice.cols(),
+        lattice.switch_count(),
+        lattice.pitch_um()
+    );
+
+    // 1. A plain rectangular coil.
+    let mut m = SwitchMatrix::new(&lattice);
+    m.program_rectangle(4, 4, 16, 16)?;
+    let coil = extract_coil(&lattice, &m)?;
+    println!(
+        "\nrectangle 12x12 nodes: {} switches, {:.0} um wire, R = {:.1} ohm",
+        coil.switch_count(),
+        coil.wire_length_um(),
+        coil.series_resistance_ohm(&tgate, 1.0, 25.0)
+    );
+
+    // 2. The Fig 1b two-turn coil.
+    program_two_turn(&mut m, 4, 4, 20, 20)?;
+    let two = extract_coil(&lattice, &m)?;
+    println!(
+        "two-turn (Fig 1b):     {} switches, winding area {:.0} um^2",
+        two.switch_count(),
+        two.enclosed_area_um2()
+    );
+
+    // 3. A 6-turn spiral like the preset sensors.
+    program_spiral(&mut m, 0, 0, 12, 12, 6)?;
+    let spiral = extract_coil(&lattice, &m)?;
+    let z = CoilImpedance::of_coil(&spiral, &tgate, 1.0, 25.0, lattice.wire_width_um());
+    println!(
+        "6-turn spiral:         {} switches, |Z| = {:.0} ohm at 48 MHz (self-resonance {:.1} GHz)",
+        spiral.switch_count(),
+        z.magnitude_ohm(48.0e6),
+        z.self_resonance_hz() / 1e9
+    );
+
+    // 4. The decoder presets.
+    decode_psa_sel(&mut m, 10)?;
+    let sensor10 = extract_coil(&lattice, &m)?;
+    println!(
+        "preset sensor 10:      {} switches via PSA_sel = 10",
+        sensor10.switch_count()
+    );
+
+    // 5. Overhead accounting (paper Sec. V-B).
+    let report = overhead(&lattice, &tgate, 1000.0 * 1000.0, 1.0);
+    println!(
+        "\noverhead: {:.1}% area ({:.1}% T-gates + {:.1}% control), {:.2}% top routing (single coil: {:.0}%), {:.0} uW leakage",
+        report.total_area_pct,
+        report.tgate_area_pct,
+        report.control_area_pct,
+        report.routing_capacity_loss_pct,
+        report.single_coil_routing_loss_pct,
+        report.leakage_power_uw
+    );
+
+    // 6. Tamper resilience (paper Sec. IV): clean pass, then injected
+    // faults.
+    let clean = structural_check(&lattice, |_, _| {})?;
+    println!("\ntamper check (untouched):        {clean}");
+    let open = structural_check(&lattice, |mx, sensor| {
+        if sensor == 10 {
+            mx.open(16, 28).expect("valid node");
+        }
+    })?;
+    println!("tamper check (cut switch):       {open}");
+    let short = structural_check(&lattice, |mx, sensor| {
+        if sensor == 3 {
+            mx.program_rectangle(30, 0, 34, 4).expect("valid nodes");
+        }
+    })?;
+    println!("tamper check (stuck-on switches): {short}");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Integration: the SNR procedure (Sec. VI-B) and the MTTD run-time
+//! loop (Sec. VI-D) against the paper's headline numbers.
+
+use psa_repro::core::chip::{SensorSelect, TestChip};
+use psa_repro::core::cross_domain::CrossDomainAnalyzer;
+use psa_repro::core::mttd::{mttd_trial, MonitorTiming};
+use psa_repro::core::scenario::Scenario;
+use psa_repro::core::snr;
+use psa_repro::gatesim::trojan::TrojanKind;
+use std::sync::OnceLock;
+
+fn chip() -> &'static TestChip {
+    static CHIP: OnceLock<TestChip> = OnceLock::new();
+    CHIP.get_or_init(TestChip::date24)
+}
+
+#[test]
+fn snr_values_land_in_paper_regime() {
+    // Paper: PSA 41.0, single coil 30.5, ICR ~34, LF1 14.3 (dB).
+    let rows = snr::snr_comparison(chip(), 3).expect("snr comparison");
+    let get = |s: SensorSelect| {
+        rows.iter().find(|m| m.sensor == s).map(|m| m.snr_db).unwrap()
+    };
+    let psa = get(SensorSelect::Psa(10));
+    let single = get(SensorSelect::SingleCoil);
+    let icr = get(SensorSelect::IcrHh100);
+    let lf1 = get(SensorSelect::LangerLf1);
+    assert!((37.0..46.0).contains(&psa), "PSA {psa}");
+    assert!((26.0..35.0).contains(&single), "single coil {single}");
+    assert!((29.0..39.0).contains(&icr), "ICR {icr}");
+    assert!((8.0..19.0).contains(&lf1), "LF1 {lf1}");
+    // Paper ordering.
+    assert!(psa > icr && icr > single && single > lf1);
+}
+
+#[test]
+fn mttd_under_10ms_with_under_10_traces() {
+    let analyzer = CrossDomainAnalyzer::new(chip());
+    let baseline = analyzer.learn_baseline(0xBA5E);
+    let timing = MonitorTiming::default();
+    for kind in [TrojanKind::T4, TrojanKind::T3] {
+        let scenario = Scenario::trojan_active(kind).with_seed(900);
+        let r = mttd_trial(chip(), &scenario, &baseline, 10, &timing, 64)
+            .expect("trial runs");
+        assert!(r.detected, "{kind} undetected");
+        assert!(
+            r.time_to_detect_s < 10.0e-3,
+            "{kind} MTTD {} ms",
+            r.time_to_detect_s * 1e3
+        );
+        assert!(r.traces_used < 10, "{kind} used {} traces", r.traces_used);
+    }
+}
+
+#[test]
+fn no_trojan_monitor_does_not_false_alarm() {
+    let analyzer = CrossDomainAnalyzer::new(chip());
+    let baseline = analyzer.learn_baseline(0xBA5E);
+    let timing = MonitorTiming::default();
+    let r = mttd_trial(
+        chip(),
+        &Scenario::baseline().with_seed(901),
+        &baseline,
+        10,
+        &timing,
+        12,
+    )
+    .expect("trial runs");
+    assert!(!r.detected, "false alarm on quiet chip");
+    assert_eq!(r.traces_used, 12);
+}
