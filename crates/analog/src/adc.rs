@@ -5,7 +5,6 @@
 //! ideal-SNR helper for sizing.
 
 use crate::error::AnalogError;
-use serde::{Deserialize, Serialize};
 
 /// A uniform mid-tread quantizer with a bipolar full-scale range.
 ///
@@ -20,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// assert!(q[2] <= 1.0 && q[3] >= -1.0); // clamped to full scale
 /// # Ok::<(), psa_analog::AnalogError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Adc {
     bits: u32,
     full_scale_v: f64,

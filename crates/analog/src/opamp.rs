@@ -6,7 +6,6 @@
 //! amplification uses the matching first-order IIR so the frequency
 //! response and the sample stream agree.
 
-use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
 
 /// Single-pole op-amp.
@@ -21,7 +20,7 @@ use std::f64::consts::PI;
 /// let g48 = amp.gain_at_hz(48.0e6);
 /// assert!((g48 - 200.0 / 48.0).abs() < 0.5);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpAmp {
     /// DC gain, linear (50 dB → ~316).
     pub dc_gain: f64,
@@ -113,9 +112,7 @@ mod tests {
                 .collect();
             let y = amp.amplify(&x, fs);
             // Compare steady-state halves only (skip the IIR transient).
-            let rms = |v: &[f64]| {
-                (v.iter().map(|s| s * s).sum::<f64>() / v.len() as f64).sqrt()
-            };
+            let rms = |v: &[f64]| (v.iter().map(|s| s * s).sum::<f64>() / v.len() as f64).sqrt();
             let measured = rms(&y[n / 2..]) / rms(&x[n / 2..]);
             let expected = amp.gain_at_hz(f0);
             let ratio = measured / expected;

@@ -142,10 +142,7 @@ mod tests {
     #[test]
     fn averaging_suppresses_alternating_noise() {
         let scope = Scope::new(4);
-        let records = vec![
-            vec![1.0, 2.0, 3.0, 4.0],
-            vec![3.0, 2.0, 1.0, 4.0],
-        ];
+        let records = vec![vec![1.0, 2.0, 3.0, 4.0], vec![3.0, 2.0, 1.0, 4.0]];
         let avg = scope.average(&records).unwrap();
         assert_eq!(avg, vec![2.0, 2.0, 2.0, 4.0]);
         assert!(scope.average(&[]).is_err());

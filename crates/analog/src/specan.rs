@@ -55,8 +55,7 @@ impl SpectrumAnalyzer {
         }
         let amp = spectrum::try_amplitude_spectrum(record, self.window)?;
         let n_fft = record.len();
-        let bins_in_span =
-            ((self.span_hz * n_fft as f64 / fs_hz) as usize + 1).min(amp.len());
+        let bins_in_span = ((self.span_hz * n_fft as f64 / fs_hz) as usize + 1).min(amp.len());
         let in_span = &amp[..bins_in_span];
         let resampled = peak_hold_resample(in_span, self.trace_points);
         Ok(resampled.into_iter().map(spectrum::amplitude_db).collect())
@@ -157,13 +156,14 @@ fn peak_hold_resample(bins: &[f64], points: usize) -> Vec<f64> {
         return Vec::new();
     }
     if bins.len() <= points {
-        return spectrum::resample_linear(bins, points)
-            .expect("inputs validated above");
+        return spectrum::resample_linear(bins, points).expect("inputs validated above");
     }
     let mut out = Vec::with_capacity(points);
     for p in 0..points {
         let lo = p * bins.len() / points;
-        let hi = (((p + 1) * bins.len()) / points).max(lo + 1).min(bins.len());
+        let hi = (((p + 1) * bins.len()) / points)
+            .max(lo + 1)
+            .min(bins.len());
         let peak = bins[lo..hi].iter().cloned().fold(f64::MIN, f64::max);
         out.push(peak);
     }
@@ -247,8 +247,7 @@ mod tests {
         let x: Vec<f64> = (0..n)
             .map(|i| {
                 let t = i as f64 / FS;
-                (1.0 + 0.5 * (2.0 * PI * 750.0e3 * t).sin())
-                    * (2.0 * PI * 48.0e6 * t).cos()
+                (1.0 + 0.5 * (2.0 * PI * 750.0e3 * t).sin()) * (2.0 * PI * 48.0e6 * t).cos()
             })
             .collect();
         let env = sa.zero_span_trace(&x, FS, 48.0e6).unwrap();

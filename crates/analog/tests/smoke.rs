@@ -1,0 +1,10 @@
+//! Crate smoke test: the THS4504 op-amp model has the datasheet DC gain.
+
+use psa_analog::opamp::OpAmp;
+
+#[test]
+fn opamp_smoke() {
+    let amp = OpAmp::ths4504();
+    assert!((amp.gain_at_hz(0.0) - 316.2).abs() < 1.0);
+    assert!(amp.gain_at_hz(100.0e6) < 10.0);
+}

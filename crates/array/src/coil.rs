@@ -161,10 +161,7 @@ pub fn extract_all_cycles(
             continue;
         }
         // Remove its single remaining edge.
-        if let Some(&(u, e)) = adj[v]
-            .iter()
-            .find(|&&(_, e)| !removed_edge[e])
-        {
+        if let Some(&(u, e)) = adj[v].iter().find(|&&(_, e)| !removed_edge[e]) {
             removed_edge[e] = true;
             degree[v] -= 1;
             degree[u] -= 1;
@@ -298,7 +295,7 @@ pub fn program_spiral(
             what: "spiral needs at least one turn",
         });
     }
-    if r1 <= r0 + 2 * n_turns - 1 || c1 <= c0 + 2 * n_turns - 1 {
+    if r1 < r0 + 2 * n_turns || c1 < c0 + 2 * n_turns {
         return Err(ArrayError::InvalidParameter {
             what: "spiral turns exceed the node extent",
         });
@@ -352,7 +349,10 @@ mod tests {
         m.close(4, 6).unwrap();
         m.close(4, 30).unwrap();
         m.close(16, 30).unwrap();
-        assert!(matches!(extract_coil(&l, &m), Err(ArrayError::NoClosedLoop)));
+        assert!(matches!(
+            extract_coil(&l, &m),
+            Err(ArrayError::NoClosedLoop)
+        ));
     }
 
     #[test]
@@ -444,7 +444,10 @@ mod tests {
     #[test]
     fn empty_matrix_no_loop() {
         let (l, m) = setup();
-        assert!(matches!(extract_coil(&l, &m), Err(ArrayError::NoClosedLoop)));
+        assert!(matches!(
+            extract_coil(&l, &m),
+            Err(ArrayError::NoClosedLoop)
+        ));
         assert!(extract_all_cycles(&l, &m).unwrap().is_empty());
     }
 }

@@ -77,7 +77,9 @@ mod tests {
         };
         assert!(e.to_string().contains("36x36"));
         assert!(!ArrayError::NoClosedLoop.to_string().is_empty());
-        assert!(ArrayError::MultipleLoops { count: 2 }.to_string().contains('2'));
+        assert!(ArrayError::MultipleLoops { count: 2 }
+            .to_string()
+            .contains('2'));
         assert!(ArrayError::SensorOutOfRange { index: 16, len: 16 }
             .to_string()
             .contains("16"));

@@ -43,13 +43,7 @@ impl CoilImpedance {
     pub const C_PER_SWITCH_F: f64 = 8.0e-15;
 
     /// Builds the model from an extracted coil at a given corner.
-    pub fn of_coil(
-        coil: &Coil,
-        tgate: &TGate,
-        vdd: f64,
-        temp_c: f64,
-        wire_width_um: f64,
-    ) -> Self {
+    pub fn of_coil(coil: &Coil, tgate: &TGate, vdd: f64, temp_c: f64, wire_width_um: f64) -> Self {
         CoilImpedance {
             r_ohm: coil.series_resistance_ohm(tgate, vdd, temp_c),
             l_h: coil.inductance_estimate_h(wire_width_um),
@@ -215,7 +209,10 @@ mod tests {
             &[-40.0, -20.0, 0.0, 25.0, 50.0, 85.0, 125.0],
         );
         let spread = sweep_spread_db(&sweep);
-        assert!((1.5..4.5).contains(&spread), "temperature spread {spread} dB");
+        assert!(
+            (1.5..4.5).contains(&spread),
+            "temperature spread {spread} dB"
+        );
     }
 
     #[test]

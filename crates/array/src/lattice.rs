@@ -8,7 +8,6 @@
 
 use crate::error::ArrayError;
 use psa_layout::Point;
-use serde::{Deserialize, Serialize};
 
 /// The wire grid geometry and electrical constants.
 ///
@@ -21,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(l.cols(), 36);
 /// assert_eq!(l.switch_count(), 1296); // the paper's 1296 T-gates
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Lattice {
     rows: usize,
     cols: usize,
@@ -116,7 +115,10 @@ impl Lattice {
     /// Returns [`ArrayError::NodeOutOfRange`] outside the lattice.
     pub fn node_position(&self, row: usize, col: usize) -> Result<Point, ArrayError> {
         self.check(row, col)?;
-        Ok(Point::new(col as f64 * self.pitch_um, row as f64 * self.pitch_um))
+        Ok(Point::new(
+            col as f64 * self.pitch_um,
+            row as f64 * self.pitch_um,
+        ))
     }
 
     /// Flat switch index of crossing `(row, col)`.

@@ -9,7 +9,6 @@
 
 use crate::lattice::Lattice;
 use crate::tgate::TGate;
-use serde::{Deserialize, Serialize};
 
 /// Routing track footprint of one PSA wire: drawn width plus required
 /// same-layer spacing, µm. 36 wires × 1.736 µm over a 1000 µm die is the
@@ -22,7 +21,7 @@ pub const WIRE_TRACK_PITCH_UM: f64 = 1.736;
 pub const CONTROL_AREA_FACTOR: f64 = 2.0;
 
 /// The overhead report for a PSA deployment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OverheadReport {
     /// Raw T-gate silicon as % of die area.
     pub tgate_area_pct: f64,
@@ -74,7 +73,11 @@ mod tests {
         // Paper: "T-gates used in PSA account for an additional 5% of
         // the total chip area".
         let r = report();
-        assert!((4.0..6.5).contains(&r.total_area_pct), "{}", r.total_area_pct);
+        assert!(
+            (4.0..6.5).contains(&r.total_area_pct),
+            "{}",
+            r.total_area_pct
+        );
         assert!(r.tgate_area_pct > 1.0);
         assert!((r.total_area_pct - (r.tgate_area_pct + r.control_area_pct)).abs() < 1e-12);
     }
@@ -83,7 +86,11 @@ mod tests {
     fn routing_loss_about_six_percent() {
         // Paper: 6.25 % of top-layer routing capacity.
         let r = report();
-        assert!((r.routing_capacity_loss_pct - 6.25).abs() < 0.1, "{}", r.routing_capacity_loss_pct);
+        assert!(
+            (r.routing_capacity_loss_pct - 6.25).abs() < 0.1,
+            "{}",
+            r.routing_capacity_loss_pct
+        );
     }
 
     #[test]

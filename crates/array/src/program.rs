@@ -7,7 +7,6 @@
 
 use crate::error::ArrayError;
 use crate::lattice::Lattice;
-use serde::{Deserialize, Serialize};
 
 /// The programmable switch state of a lattice.
 ///
@@ -26,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.closed_count(), 0);
 /// # Ok::<(), psa_array::ArrayError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SwitchMatrix {
     rows: usize,
     cols: usize,

@@ -137,10 +137,10 @@ impl SensorBank {
     /// inverse lookup used when reporting a localization verdict.
     pub fn nearest_sensor(&self, x_um: f64, y_um: f64) -> Option<&Sensor> {
         self.sensors.iter().min_by(|a, b| {
-            let da = (a.footprint.center().x - x_um).powi(2)
-                + (a.footprint.center().y - y_um).powi(2);
-            let db = (b.footprint.center().x - x_um).powi(2)
-                + (b.footprint.center().y - y_um).powi(2);
+            let da =
+                (a.footprint.center().x - x_um).powi(2) + (a.footprint.center().y - y_um).powi(2);
+            let db =
+                (b.footprint.center().x - x_um).powi(2) + (b.footprint.center().y - y_um).powi(2);
             da.total_cmp(&db)
         })
     }
@@ -195,9 +195,10 @@ mod tests {
             (999.0, 999.0),
             (500.0, 500.0),
         ] {
-            let covered = bank
-                .iter()
-                .any(|s| s.footprint().contains(psa_layout::Point::new(probe.0, probe.1)));
+            let covered = bank.iter().any(|s| {
+                s.footprint()
+                    .contains(psa_layout::Point::new(probe.0, probe.1))
+            });
             assert!(covered, "point {probe:?} uncovered");
         }
         for s in bank.iter() {
@@ -231,9 +232,7 @@ mod tests {
             // times the footprint but bounded by turns x footprint.
             let poly_area = s.coil().enclosed_area_um2();
             assert!(poly_area > 1.5 * s.footprint().area());
-            assert!(
-                poly_area < crate::program::SENSOR_TURNS as f64 * s.footprint().area()
-            );
+            assert!(poly_area < crate::program::SENSOR_TURNS as f64 * s.footprint().area());
         }
     }
 

@@ -6,8 +6,6 @@
 //! reproduce the ≤ 4 dB impedance spread the paper reports over
 //! 0.8–1.2 V and −40–125 °C (Sec. VI-C).
 
-use serde::{Deserialize, Serialize};
-
 /// Transmission-gate electrical model.
 ///
 /// # Example
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// // Higher supply → lower on-resistance.
 /// assert!(tg.r_on_ohm(1.2, 25.0) < tg.r_on_ohm(0.8, 25.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TGate {
     /// On-resistance at `(v_nominal, t_nominal)`, Ω.
     pub r_nominal_ohm: f64,
@@ -139,7 +137,10 @@ mod tests {
         // −40 to 125 °C.
         let tg = TGate::date24();
         let spread = tg.spread_db((1.0, -40.0), (1.0, 125.0));
-        assert!((2.0..5.0).contains(&spread), "temperature spread {spread} dB");
+        assert!(
+            (2.0..5.0).contains(&spread),
+            "temperature spread {spread} dB"
+        );
     }
 
     #[test]

@@ -97,12 +97,7 @@ pub fn structural_check(
         match cycles.len() {
             1 => {}
             0 => return Ok(TamperVerdict::OpenCircuit { sensor }),
-            n => {
-                return Ok(TamperVerdict::ShortCircuit {
-                    sensor,
-                    loops: n,
-                })
-            }
+            n => return Ok(TamperVerdict::ShortCircuit { sensor, loops: n }),
         }
     }
     Ok(TamperVerdict::Clean)
@@ -126,8 +121,7 @@ pub fn signature_check(
         let mut m = SwitchMatrix::new(lattice);
         decode_psa_sel(&mut m, sensor as u8)?;
         let coil = crate::coil::extract_coil(lattice, &m)?;
-        let expected = CoilImpedance::of_coil(&coil, tgate, 1.0, 25.0, 1.0)
-            .magnitude_ohm(freq_hz);
+        let expected = CoilImpedance::of_coil(&coil, tgate, 1.0, 25.0, 1.0).magnitude_ohm(freq_hz);
         let delta_db = (20.0 * (measured / expected).log10()).abs();
         if !delta_db.is_finite() || delta_db > tolerance_db {
             return Ok(TamperVerdict::SignatureMismatch {
@@ -174,7 +168,13 @@ mod tests {
             }
         })
         .unwrap();
-        assert_eq!(v, TamperVerdict::ShortCircuit { sensor: 3, loops: 2 });
+        assert_eq!(
+            v,
+            TamperVerdict::ShortCircuit {
+                sensor: 3,
+                loops: 2
+            }
+        );
     }
 
     #[test]
@@ -187,9 +187,7 @@ mod tests {
             let mut m = SwitchMatrix::new(&l);
             decode_psa_sel(&mut m, sensor).unwrap();
             let coil = crate::coil::extract_coil(&l, &m).unwrap();
-            measured.push(
-                CoilImpedance::of_coil(&coil, &tg, 1.0, 25.0, 1.0).magnitude_ohm(48.0e6),
-            );
+            measured.push(CoilImpedance::of_coil(&coil, &tg, 1.0, 25.0, 1.0).magnitude_ohm(48.0e6));
         }
         let v = signature_check(&l, &tg, 48.0e6, 1.0, &measured).unwrap();
         assert!(v.is_clean());
@@ -204,8 +202,7 @@ mod tests {
             let mut m = SwitchMatrix::new(&l);
             decode_psa_sel(&mut m, sensor as u8).unwrap();
             let coil = crate::coil::extract_coil(&l, &m).unwrap();
-            *slot =
-                CoilImpedance::of_coil(&coil, &tg, 1.0, 25.0, 1.0).magnitude_ohm(48.0e6);
+            *slot = CoilImpedance::of_coil(&coil, &tg, 1.0, 25.0, 1.0).magnitude_ohm(48.0e6);
         }
         // A foundry bypassed sensor 7's switches with hard shorts:
         // impedance drops sharply.
@@ -223,9 +220,12 @@ mod tests {
         assert!(TamperVerdict::OpenCircuit { sensor: 2 }
             .to_string()
             .contains("sensor 2"));
-        assert!(TamperVerdict::ShortCircuit { sensor: 1, loops: 3 }
-            .to_string()
-            .contains("3 loops"));
+        assert!(TamperVerdict::ShortCircuit {
+            sensor: 1,
+            loops: 3
+        }
+        .to_string()
+        .contains("3 loops"));
     }
 
     #[test]
@@ -237,9 +237,8 @@ mod tests {
             let mut m = SwitchMatrix::new(&l);
             decode_psa_sel(&mut m, sensor as u8).unwrap();
             let coil = crate::coil::extract_coil(&l, &m).unwrap();
-            *slot = CoilImpedance::of_coil(&coil, &tg, 1.0, 25.0, 1.0)
-                .magnitude_ohm(48.0e6)
-                * 1.1; // ~0.8 dB high, e.g. process variation
+            *slot = CoilImpedance::of_coil(&coil, &tg, 1.0, 25.0, 1.0).magnitude_ohm(48.0e6) * 1.1;
+            // ~0.8 dB high, e.g. process variation
         }
         // Tight band flags it; realistic band accepts it.
         assert!(!signature_check(&l, &tg, 48.0e6, 0.5, &measured)

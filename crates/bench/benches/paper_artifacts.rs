@@ -1,104 +1,80 @@
-//! Criterion benches — one per paper table/figure, measuring the hot
-//! pipeline behind each artifact (plus the substrate kernels they lean
-//! on). Regeneration binaries print the artifacts themselves; these
-//! benches track the cost of producing them.
+//! Benches — one per paper table/figure, measuring the hot pipeline
+//! behind each artifact (plus the substrate kernels they lean on).
+//! Regeneration binaries print the artifacts themselves; these benches
+//! track the cost of producing them.
+//!
+//! Criterion is unavailable offline, so these run on the std-only
+//! [`psa_bench::harness::Harness`] (`harness = false` target).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use psa_bench::experiments;
+use psa_bench::harness::Harness;
 use psa_core::acquisition::Acquisition;
 use psa_core::chip::{SensorSelect, TestChip};
 use psa_core::scenario::Scenario;
 use psa_dsp::window::Window;
 use psa_dsp::{fft, spectrum, zero_span::ZeroSpan, Complex};
 use std::sync::OnceLock;
-use std::time::Duration;
 
 fn chip() -> &'static TestChip {
     static CHIP: OnceLock<TestChip> = OnceLock::new();
     CHIP.get_or_init(TestChip::date24)
 }
 
-fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group("paper");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(3));
-    g.warm_up_time(Duration::from_millis(500));
-    g
-}
-
 /// Table II: floorplan construction + gate-count accounting.
-fn bench_table2(c: &mut Criterion) {
-    let mut g = quick(c);
-    g.bench_function("table2_gate_counts", |b| {
-        b.iter(|| {
-            let fp = psa_layout::floorplan::Floorplan::date24_test_chip();
-            std::hint::black_box(fp.gate_count_table())
-        })
+fn bench_table2(h: &Harness) {
+    h.bench("table2_gate_counts", || {
+        let fp = psa_layout::floorplan::Floorplan::date24_test_chip();
+        std::hint::black_box(fp.gate_count_table());
     });
-    g.finish();
 }
 
 /// SNR row (Sec. VI-B): one full signal+noise acquisition on sensor 10.
-fn bench_snr(c: &mut Criterion) {
+fn bench_snr(h: &Harness) {
     let chip = chip();
-    let mut g = quick(c);
-    g.bench_function("snr_sensor10", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                psa_core::snr::measure_snr(chip, SensorSelect::Psa(10), 1, 7).unwrap(),
-            )
-        })
+    h.bench("snr_sensor10", || {
+        std::hint::black_box(
+            psa_core::snr::measure_snr(chip, SensorSelect::Psa(10), 1, 7).unwrap(),
+        );
     });
-    g.finish();
 }
 
 /// Table I's core cost: one cross-domain detection decision (single
 /// sensor watch, five traces) — the run-time monitor's inner loop.
-fn bench_table1(c: &mut Criterion) {
+fn bench_table1(h: &Harness) {
     let chip = chip();
     let acq = Acquisition::new(chip);
     let scenario = Scenario::trojan_active(psa_gatesim::trojan::TrojanKind::T4);
-    let mut g = quick(c);
-    g.bench_function("table1_detection_decision", |b| {
-        b.iter(|| {
-            let traces = acq
-                .acquire(&scenario, SensorSelect::Psa(10), 5)
-                .unwrap();
-            std::hint::black_box(acq.fullres_spectrum_db(&traces).unwrap())
-        })
+    h.bench("table1_detection_decision", || {
+        let traces = acq.acquire(&scenario, SensorSelect::Psa(10), 5).unwrap();
+        std::hint::black_box(acq.fullres_spectrum_db(&traces).unwrap());
     });
-    g.finish();
 }
 
 /// Fig 3: the averaged 2000-point display trace.
-fn bench_fig3(c: &mut Criterion) {
+fn bench_fig3(h: &Harness) {
     let chip = chip();
     let acq = Acquisition::new(chip);
     let scenario = Scenario::baseline();
     let traces = acq.acquire(&scenario, SensorSelect::Psa(10), 5).unwrap();
-    let mut g = quick(c);
-    g.bench_function("fig3_display_trace", |b| {
-        b.iter(|| std::hint::black_box(acq.spectrum_db(&traces).unwrap()))
+    h.bench("fig3_display_trace", || {
+        std::hint::black_box(acq.spectrum_db(&traces).unwrap());
     });
-    g.finish();
 }
 
 /// Fig 4: full-resolution spectrum of one acquired trace set.
-fn bench_fig4(c: &mut Criterion) {
+fn bench_fig4(h: &Harness) {
     let chip = chip();
     let acq = Acquisition::new(chip);
     let traces = acq
         .acquire(&Scenario::baseline(), SensorSelect::Psa(10), 5)
         .unwrap();
-    let mut g = quick(c);
-    g.bench_function("fig4_fullres_spectrum", |b| {
-        b.iter(|| std::hint::black_box(acq.fullres_spectrum_db(&traces).unwrap()))
+    h.bench("fig4_fullres_spectrum", || {
+        std::hint::black_box(acq.fullres_spectrum_db(&traces).unwrap());
     });
-    g.finish();
 }
 
 /// Fig 5: zero-span demodulation + feature extraction.
-fn bench_fig5(c: &mut Criterion) {
+fn bench_fig5(h: &Harness) {
     let fs = 264.0e6;
     let zs = ZeroSpan::with_rbw(48.0e6, fs, 0.95e6).unwrap();
     let n = 65_536;
@@ -110,77 +86,61 @@ fn bench_fig5(c: &mut Criterion) {
         })
         .collect();
     let env = zs.envelope_trimmed(&x).unwrap();
-    let mut g = quick(c);
-    g.bench_function("fig5_zero_span", |b| {
-        b.iter(|| std::hint::black_box(zs.envelope(&x).unwrap()))
+    h.bench("fig5_zero_span", || {
+        std::hint::black_box(zs.envelope(&x).unwrap());
     });
-    g.bench_function("fig5_feature_extraction", |b| {
-        b.iter(|| std::hint::black_box(experiments::bench_feature_extraction(&env)))
+    h.bench("fig5_feature_extraction", || {
+        std::hint::black_box(experiments::bench_feature_extraction(&env));
     });
-    g.finish();
 }
 
 /// Sec. VI-C: the V/T impedance sweep.
-fn bench_vt_sweep(c: &mut Criterion) {
-    let mut g = quick(c);
-    g.bench_function("vt_sweep", |b| {
-        b.iter(|| std::hint::black_box(experiments::vt_sweep()))
+fn bench_vt_sweep(h: &Harness) {
+    h.bench("vt_sweep", || {
+        std::hint::black_box(experiments::vt_sweep());
     });
-    g.finish();
 }
 
 /// Sec. VI-D: one MTTD monitor iteration (acquire one record + compare).
-fn bench_mttd(c: &mut Criterion) {
+fn bench_mttd(h: &Harness) {
     let chip = chip();
     let acq = Acquisition::new(chip);
     let scenario = Scenario::trojan_active(psa_gatesim::trojan::TrojanKind::T4);
-    let mut g = quick(c);
-    g.bench_function("mttd_monitor_iteration", |b| {
-        b.iter(|| {
-            let traces = acq
-                .acquire(&scenario, SensorSelect::Psa(10), 1)
-                .unwrap();
-            std::hint::black_box(acq.fullres_spectrum_db(&traces).unwrap())
-        })
+    h.bench("mttd_monitor_iteration", || {
+        let traces = acq.acquire(&scenario, SensorSelect::Psa(10), 1).unwrap();
+        std::hint::black_box(acq.fullres_spectrum_db(&traces).unwrap());
     });
-    g.finish();
 }
 
 /// Substrate kernels the artifacts lean on: FFT and activity synthesis.
-fn bench_substrates(c: &mut Criterion) {
-    let mut g = quick(c);
+fn bench_substrates(h: &Harness) {
     let mut buf: Vec<Complex> = (0..65_536)
         .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
         .collect();
-    g.bench_function("fft_65536", |b| {
-        b.iter(|| {
-            fft::fft(&mut buf).unwrap();
-            std::hint::black_box(&buf);
-        })
+    h.bench("fft_65536", || {
+        fft::fft(&mut buf).unwrap();
+        std::hint::black_box(&buf);
     });
     let x: Vec<f64> = (0..65_536).map(|i| (i as f64 * 0.11).sin()).collect();
-    g.bench_function("amplitude_spectrum_65536", |b| {
-        b.iter(|| std::hint::black_box(spectrum::amplitude_spectrum(&x, Window::Hann)))
+    h.bench("amplitude_spectrum_65536", || {
+        std::hint::black_box(spectrum::amplitude_spectrum(&x, Window::Hann));
     });
-    let mut sim = psa_gatesim::activity::ActivitySimulator::new(
-        psa_gatesim::activity::ChipConfig::default(),
-    );
-    g.bench_function("activity_8192_cycles", |b| {
-        b.iter(|| std::hint::black_box(sim.advance(8192)))
+    let mut sim =
+        psa_gatesim::activity::ActivitySimulator::new(psa_gatesim::activity::ChipConfig::default());
+    h.bench("activity_8192_cycles", || {
+        std::hint::black_box(sim.advance(8192));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_table2,
-    bench_snr,
-    bench_table1,
-    bench_fig3,
-    bench_fig4,
-    bench_fig5,
-    bench_vt_sweep,
-    bench_mttd,
-    bench_substrates
-);
-criterion_main!(benches);
+fn main() {
+    let h = Harness::from_env();
+    bench_table2(&h);
+    bench_snr(&h);
+    bench_table1(&h);
+    bench_fig3(&h);
+    bench_fig4(&h);
+    bench_fig5(&h);
+    bench_vt_sweep(&h);
+    bench_mttd(&h);
+    bench_substrates(&h);
+}

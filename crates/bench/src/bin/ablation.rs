@@ -47,11 +47,7 @@ fn turn_count_ablation() {
         program_spiral(&mut m, r0, c0, r1, c1, turns).expect("programs");
         let coil = extract_coil(&lattice, &m).expect("extracts");
         let poly = coil.to_polygon().expect("polygon");
-        let k = |p: Point| {
-            Dipole::new(p, 1.0)
-                .flux_through_polygon(&poly, 4.8)
-                .abs()
-        };
+        let k = |p: Point| Dipole::new(p, 1.0).flux_through_polygon(&poly, 4.8).abs();
         let (kc, ke, ko) = (k(center), k(edge), k(outside));
         t.row(vec![
             turns.to_string(),
@@ -81,7 +77,11 @@ fn rbw_ablation() {
     let acq = psa_core::acquisition::Acquisition::new(&chip);
     // One long acquisition, re-analyzed at different window lengths.
     let base = acq
-        .acquire(&Scenario::baseline().with_seed(61), SensorSelect::Psa(10), 5)
+        .acquire(
+            &Scenario::baseline().with_seed(61),
+            SensorSelect::Psa(10),
+            5,
+        )
         .expect("baseline traces");
     let act = acq
         .acquire(
@@ -106,9 +106,7 @@ fn rbw_ablation() {
                 .collect();
             let linear: Vec<Vec<f64>> = windows
                 .iter()
-                .map(|w| {
-                    spectrum::amplitude_spectrum(w, psa_dsp::window::Window::Hann)
-                })
+                .map(|w| spectrum::amplitude_spectrum(w, psa_dsp::window::Window::Hann))
                 .collect();
             spectrum::average_traces(&linear).expect("windows align")
         };
@@ -116,9 +114,7 @@ fn rbw_ablation() {
         let a = spec_of(&act.records);
         let bin = psa_dsp::fft::freq_bin(48.0e6, n, fs);
         let excess = (bin.saturating_sub(2)..=bin + 2)
-            .map(|k| {
-                spectrum::amplitude_db(a[k]) - spectrum::amplitude_db(b[k])
-            })
+            .map(|k| spectrum::amplitude_db(a[k]) - spectrum::amplitude_db(b[k]))
             .fold(f64::MIN, f64::max);
         t.row(vec![
             n.to_string(),

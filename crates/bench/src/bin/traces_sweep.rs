@@ -33,8 +33,7 @@ fn psa_sweep(chip: &TestChip) {
     let acq = Acquisition::new(chip);
     let analyzer = CrossDomainAnalyzer::new(chip);
     let baseline = analyzer.learn_baseline(0xBA5E);
-    let base_env =
-        psa_dsp::peak::local_max_envelope(&baseline.per_sensor_db[10], 8);
+    let base_env = psa_dsp::peak::local_max_envelope(&baseline.per_sensor_db[10], 8);
 
     let mut t = Table::new(vec![
         "traces".into(),

@@ -5,9 +5,7 @@
 use psa_core::acquisition::Acquisition;
 use psa_core::chip::{SensorSelect, TestChip};
 use psa_core::cross_domain::{Baseline, CrossDomainAnalyzer};
-use psa_core::detector::{
-    BackscatterDetector, CrossDomainDetector, Detector, EuclideanDetector,
-};
+use psa_core::detector::{BackscatterDetector, CrossDomainDetector, Detector, EuclideanDetector};
 use psa_core::mttd::{mttd_trial, MonitorTiming};
 use psa_core::report::{db, mhz, pct, sparkline, yes_no, Table};
 use psa_core::scenario::Scenario;
@@ -41,9 +39,7 @@ pub fn table2() -> Table {
         ("T3", "1.14%"),
         ("T4", "7.57%"),
     ];
-    for ((label, count, pct_v), (_, paper_pct)) in
-        fp.gate_count_table().into_iter().zip(paper)
-    {
+    for ((label, count, pct_v), (_, paper_pct)) in fp.gate_count_table().into_iter().zip(paper) {
         t.row(vec![
             label,
             count.to_string(),
@@ -138,8 +134,7 @@ pub fn table1_campaign(chip: &TestChip, seeds_per_trojan: usize) -> Vec<MethodSu
         let mut trials = 0usize;
         for kind in TrojanKind::ALL {
             for s in 0..seeds_per_trojan {
-                let scenario =
-                    Scenario::trojan_active(kind).with_seed(7000 + s as u64 * 31);
+                let scenario = Scenario::trojan_active(kind).with_seed(7000 + s as u64 * 31);
                 let outcome = det
                     .detect(chip, &scenario)
                     .expect("detector runs on built-in chip");
@@ -414,9 +409,7 @@ pub fn fig5_report(chip: &TestChip) -> String {
 /// V/T sweep rows: `(corner label, |Z| dB)` plus spreads.
 pub fn vt_sweep() -> (Vec<(String, f64)>, f64, f64) {
     use psa_array::coil::extract_coil;
-    use psa_array::impedance::{
-        sweep_spread_db, temperature_sweep_db, voltage_sweep_db,
-    };
+    use psa_array::impedance::{sweep_spread_db, temperature_sweep_db, voltage_sweep_db};
     use psa_array::lattice::Lattice;
     use psa_array::program::{decode_psa_sel, SwitchMatrix};
     use psa_array::tgate::TGate;
@@ -427,20 +420,9 @@ pub fn vt_sweep() -> (Vec<(String, f64)>, f64, f64) {
     let coil = extract_coil(&lattice, &m).expect("sensor 10 extracts");
     let tgate = TGate::date24();
 
-    let v_sweep = voltage_sweep_db(
-        &coil,
-        &tgate,
-        48.0e6,
-        25.0,
-        &[0.8, 0.9, 1.0, 1.1, 1.2],
-    );
-    let t_sweep = temperature_sweep_db(
-        &coil,
-        &tgate,
-        48.0e6,
-        1.0,
-        &[-40.0, 0.0, 25.0, 85.0, 125.0],
-    );
+    let v_sweep = voltage_sweep_db(&coil, &tgate, 48.0e6, 25.0, &[0.8, 0.9, 1.0, 1.1, 1.2]);
+    let t_sweep =
+        temperature_sweep_db(&coil, &tgate, 48.0e6, 1.0, &[-40.0, 0.0, 25.0, 85.0, 125.0]);
     let v_spread = sweep_spread_db(&v_sweep);
     let t_spread = sweep_spread_db(&t_sweep);
     let mut rows = Vec::new();
@@ -460,10 +442,7 @@ pub fn vt_table() -> Table {
     for (label, z) in rows {
         t.row(vec![label, format!("{z:.2} dB-ohm")]);
     }
-    t.row(vec![
-        "voltage spread (paper ~4 dB)".into(),
-        db(v_spread),
-    ]);
+    t.row(vec!["voltage spread (paper ~4 dB)".into(), db(v_spread)]);
     t.row(vec![
         "temperature spread (paper ~4 dB)".into(),
         db(t_spread),
@@ -482,8 +461,7 @@ pub fn mttd_rows(chip: &TestChip, baseline: &Baseline) -> Vec<(TrojanKind, bool,
         .iter()
         .map(|&kind| {
             let scenario = Scenario::trojan_active(kind).with_seed(888);
-            let r = mttd_trial(chip, &scenario, baseline, 10, &timing, 64)
-                .expect("mttd trial");
+            let r = mttd_trial(chip, &scenario, baseline, 10, &timing, 64).expect("mttd trial");
             (kind, r.detected, r.time_to_detect_s * 1e3, r.traces_used)
         })
         .collect()
@@ -538,7 +516,10 @@ pub fn classify_once(chip: &TestChip) -> TrojanKind {
     let analyzer = CrossDomainAnalyzer::new(chip);
     let baseline = analyzer.learn_baseline(1);
     analyzer
-        .analyze(&Scenario::trojan_active(TrojanKind::T1).with_seed(2), &baseline)
+        .analyze(
+            &Scenario::trojan_active(TrojanKind::T1).with_seed(2),
+            &baseline,
+        )
         .expect("analyze")
         .identified
         .unwrap_or(TrojanKind::T1)

@@ -1,0 +1,10 @@
+//! Crate smoke test: an experiment driver runs end to end.
+
+use psa_bench::experiments;
+
+#[test]
+fn vt_sweep_smoke() {
+    let (rows, dv, dt) = experiments::vt_sweep();
+    assert!(!rows.is_empty());
+    assert!(dv.is_finite() && dt.is_finite());
+}

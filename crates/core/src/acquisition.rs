@@ -135,8 +135,7 @@ impl<'a> Acquisition<'a> {
                 .map(|((_, wave), &k)| (wave.as_slice(), k))
                 .collect();
             let emf = induced_emf(&pairs, calib::EFFECTIVE_MOMENT_AREA_M2, fs)?;
-            let digitized =
-                frontend.capture_record(&emf, fs, noise_vrms, rec_idx as u64)?;
+            let digitized = frontend.capture_record(&emf, fs, noise_vrms, rec_idx as u64)?;
             records.push(digitized);
         }
         Ok(TraceSet {
@@ -153,7 +152,9 @@ impl<'a> Acquisition<'a> {
     ///
     /// Propagates spectrum errors for empty trace sets.
     pub fn spectrum_db(&self, traces: &TraceSet) -> Result<Vec<f64>, CoreError> {
-        Ok(self.specan.averaged_trace_db(&traces.records, traces.fs_hz)?)
+        Ok(self
+            .specan
+            .averaged_trace_db(&traces.records, traces.fs_hz)?)
     }
 
     /// Convenience: acquire and render the averaged spectrum in one
@@ -190,9 +191,7 @@ impl<'a> Acquisition<'a> {
         let linear: Vec<Vec<f64>> = traces
             .records
             .iter()
-            .map(|r| {
-                spectrum::try_amplitude_spectrum(r, psa_dsp::window::Window::Hann)
-            })
+            .map(|r| spectrum::try_amplitude_spectrum(r, psa_dsp::window::Window::Hann))
             .collect::<Result<_, _>>()?;
         let avg = spectrum::average_traces(&linear)?;
         Ok(avg.into_iter().map(spectrum::amplitude_db).collect())
@@ -227,7 +226,9 @@ impl<'a> Acquisition<'a> {
     ) -> Result<Vec<f64>, CoreError> {
         let traces = self.acquire(scenario, sensor, n_records)?;
         let signal = traces.concatenated();
-        Ok(self.specan.zero_span_trace(&signal, traces.fs_hz, center_hz)?)
+        Ok(self
+            .specan
+            .zero_span_trace(&signal, traces.fs_hz, center_hz)?)
     }
 
     /// Zero-span with explicit resolution bandwidth (identification uses

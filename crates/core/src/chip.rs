@@ -110,8 +110,7 @@ impl TestChip {
             .iter()
             .map(|s| s.coil().to_polygon())
             .collect::<Result<_, _>>()?;
-        let psa_couplings =
-            CouplingMatrix::build(&clusters_by_source, &sensor_loops, z_psa)?;
+        let psa_couplings = CouplingMatrix::build(&clusters_by_source, &sensor_loops, z_psa)?;
 
         // Baseline probes. The LF1 hovers over the package centre; the
         // ICR micro probe is positioned over the core block (how an
@@ -219,7 +218,9 @@ impl TestChip {
                 let Ok(sensor) = self.sensor_bank.sensor(i) else {
                     return 0.0;
                 };
-                let r = sensor.coil().series_resistance_ohm(&self.tgate, vdd, temp_c);
+                let r = sensor
+                    .coil()
+                    .series_resistance_ohm(&self.tgate, vdd, temp_c);
                 psa_field::noise::thermal_noise_vrms(r, temp_c + 273.15, bw_hz)
             }
             other => self

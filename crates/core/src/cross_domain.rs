@@ -163,11 +163,7 @@ impl<'a> CrossDomainAnalyzer<'a> {
     /// # Errors
     ///
     /// Propagates acquisition/DSP errors ([`CoreError`]).
-    pub fn analyze(
-        &self,
-        scenario: &Scenario,
-        baseline: &Baseline,
-    ) -> Result<Verdict, CoreError> {
+    pub fn analyze(&self, scenario: &Scenario, baseline: &Baseline) -> Result<Verdict, CoreError> {
         let acq = Acquisition::new(self.chip);
 
         // Stage 1+2: frequency-domain sweep over all sensors, at full
@@ -191,8 +187,7 @@ impl<'a> CrossDomainAnalyzer<'a> {
                     what: "baseline missing a sensor",
                 })?;
             let base_env = local_max_envelope(base, 8);
-            let hits =
-                peak::excess_over_baseline_db(&spec, &base_env, self.config.threshold_db);
+            let hits = peak::excess_over_baseline_db(&spec, &base_env, self.config.threshold_db);
             let merged = merge_adjacent_bins(&hits);
             let energy: f64 = merged.iter().map(|(_, e)| e).sum();
             let components: Vec<(f64, f64)> = merged

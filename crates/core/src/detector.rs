@@ -50,11 +50,7 @@ pub trait Detector {
     /// # Errors
     ///
     /// Propagates acquisition/analysis errors ([`CoreError`]).
-    fn detect(
-        &self,
-        chip: &TestChip,
-        scenario: &Scenario,
-    ) -> Result<DetectionOutcome, CoreError>;
+    fn detect(&self, chip: &TestChip, scenario: &Scenario) -> Result<DetectionOutcome, CoreError>;
 }
 
 /// The paper's cross-domain PSA detector.
@@ -87,11 +83,7 @@ impl Detector for CrossDomainDetector {
         true
     }
 
-    fn detect(
-        &self,
-        chip: &TestChip,
-        scenario: &Scenario,
-    ) -> Result<DetectionOutcome, CoreError> {
+    fn detect(&self, chip: &TestChip, scenario: &Scenario) -> Result<DetectionOutcome, CoreError> {
         let analyzer = CrossDomainAnalyzer::new(chip);
         let verdict = analyzer.analyze(scenario, &self.baseline)?;
         Ok(DetectionOutcome {
@@ -161,11 +153,7 @@ impl Detector for EuclideanDetector {
         false
     }
 
-    fn detect(
-        &self,
-        chip: &TestChip,
-        scenario: &Scenario,
-    ) -> Result<DetectionOutcome, CoreError> {
+    fn detect(&self, chip: &TestChip, scenario: &Scenario) -> Result<DetectionOutcome, CoreError> {
         let acq = Acquisition::new(chip);
         // Reference: same chip with Trojans dormant (their golden-model
         // assumption translated to our run-time setting).
@@ -308,8 +296,7 @@ impl BackscatterDetector {
             for s in 0..spc {
                 let i = (c * spc + s) as f64;
                 let t = i / fs;
-                let carrier =
-                    (2.0 * std::f64::consts::PI * self.carrier_hz * t).cos();
+                let carrier = (2.0 * std::f64::consts::PI * self.carrier_hz * t).cos();
                 rx.push((1.0 + depth) * carrier * 1.0e-2 + noise.next());
             }
         }
@@ -332,11 +319,7 @@ impl Detector for BackscatterDetector {
         false
     }
 
-    fn detect(
-        &self,
-        chip: &TestChip,
-        scenario: &Scenario,
-    ) -> Result<DetectionOutcome, CoreError> {
+    fn detect(&self, chip: &TestChip, scenario: &Scenario) -> Result<DetectionOutcome, CoreError> {
         let reference = Scenario {
             trojan: None,
             extra_trojans: Vec::new(),
@@ -358,8 +341,7 @@ impl Detector for BackscatterDetector {
         let half = self.traces_per_side;
         let ref_majority = majority(&fit.assignments()[..half]);
         let test_majority = majority(&fit.assignments()[half..]);
-        let detected = silhouette > self.silhouette_threshold
-            && ref_majority != test_majority;
+        let detected = silhouette > self.silhouette_threshold && ref_majority != test_majority;
         Ok(DetectionOutcome {
             detected,
             traces_used: 2 * self.traces_per_side,

@@ -80,8 +80,7 @@ pub fn extract_features(envelope: &[f64], fs_hz: f64) -> Result<EnvelopeFeatures
     let centered: Vec<f64> = envelope.iter().map(|v| v - mean).collect();
 
     // Envelope spectrum (of the AC part).
-    let env_spec =
-        psa_dsp::spectrum::amplitude_spectrum(&centered, psa_dsp::window::Window::Hann);
+    let env_spec = psa_dsp::spectrum::amplitude_spectrum(&centered, psa_dsp::window::Window::Hann);
     let df = fs_hz / envelope.len() as f64;
     // Search for a modulation line between 200 kHz and 8 MHz.
     let lo_bin = ((200.0e3 / df) as usize).max(1);
@@ -309,10 +308,7 @@ impl TemplateLibrary {
     /// # Errors
     ///
     /// Propagates dimensionality errors from the scaler/classifier.
-    pub fn classify(
-        &self,
-        signature: &TrojanSignature,
-    ) -> Result<(TrojanKind, f64), CoreError> {
+    pub fn classify(&self, signature: &TrojanSignature) -> Result<(TrojanKind, f64), CoreError> {
         let scaled = self.scaler.transform_one(&signature.to_vec())?;
         let (label, dist) = self.knn.predict_with_distance(&scaled)?;
         let kind = TrojanKind::ALL[label.min(3)];
@@ -471,7 +467,7 @@ mod tests {
         let f = extract_features(&env, FS).unwrap();
         assert!(f.telegraph > 0.9, "telegraph {}", f.telegraph);
         assert!(f.kurtosis < 0.0, "kurtosis {}", f.kurtosis); // bimodal
-        // A sine has a much lower telegraph score.
+                                                              // A sine has a much lower telegraph score.
         let sine: Vec<f64> = (0..4096)
             .map(|i| 1.0 + 0.5 * (2.0 * PI * 750.0e3 * i as f64 / FS).sin())
             .collect();
@@ -498,8 +494,8 @@ mod tests {
         // A 500-bin-wide pedestal (2 MHz) like T3's PN spreading.
         let df = 4.0e3;
         let mut excess = vec![0.0; 4096];
-        for k in 750..1250 {
-            excess[k] = 8.0;
+        for e in &mut excess[750..1250] {
+            *e = 8.0;
         }
         excess[1000] = 25.0;
         let (sat, ped) = spectral_context(&excess, 1000, df);
@@ -527,7 +523,9 @@ mod tests {
 
     #[test]
     fn feature_vector_has_fixed_dimension() {
-        let env: Vec<f64> = (0..256).map(|i| 1.0 + 0.01 * (i as f64 * 0.3).sin()).collect();
+        let env: Vec<f64> = (0..256)
+            .map(|i| 1.0 + 0.01 * (i as f64 * 0.3).sin())
+            .collect();
         let f = extract_features(&env, FS).unwrap();
         assert_eq!(f.to_vec().len(), 8);
     }
@@ -560,7 +558,11 @@ mod tests {
             "line at {} MHz",
             f.mod_freq_mhz
         );
-        assert!(f.mod_prominence_db > 15.0, "prominence {}", f.mod_prominence_db);
+        assert!(
+            f.mod_prominence_db > 15.0,
+            "prominence {}",
+            f.mod_prominence_db
+        );
     }
 
     fn synthetic(

@@ -106,8 +106,7 @@ pub fn mttd_trial(
         let spec = acq.fullres_spectrum_db(&set)?;
         elapsed += timing.processing_s;
 
-        let hits =
-            peak::excess_over_baseline_db(&spec, &base_env, calib::DETECTION_THRESHOLD_DB);
+        let hits = peak::excess_over_baseline_db(&spec, &base_env, calib::DETECTION_THRESHOLD_DB);
         if !hits.is_empty() {
             return Ok(MttdResult {
                 detected: true,

@@ -54,8 +54,8 @@ pub struct Scenario {
 impl Scenario {
     /// The default key (the FIPS-197 example key).
     pub const DEFAULT_KEY: [u8; 16] = [
-        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
-        0xcf, 0x4f, 0x3c,
+        0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f,
+        0x3c,
     ];
 
     /// Encryption running, no Trojan active — the run-time baseline the

@@ -99,11 +99,7 @@ mod tests {
         // Paper: 41.0 dB. Accept the right regime rather than the exact
         // decimal: 35-47 dB.
         let m = measure_snr(chip(), SensorSelect::Psa(10), 3, 7).unwrap();
-        assert!(
-            (35.0..47.0).contains(&m.snr_db),
-            "PSA SNR {} dB",
-            m.snr_db
-        );
+        assert!((35.0..47.0).contains(&m.snr_db), "PSA SNR {} dB", m.snr_db);
     }
 
     #[test]

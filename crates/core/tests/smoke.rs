@@ -1,0 +1,11 @@
+//! Crate smoke test: the assembled DATE'24 test chip constructs.
+
+use psa_core::chip::TestChip;
+
+#[test]
+fn test_chip_smoke() {
+    let chip = TestChip::date24();
+    // 16 PSA sensors mapped onto the die; construction wires floorplan,
+    // activity, coupling, lattice, and the analog chain together.
+    assert_eq!(chip.sensor_bank().len(), 16);
+}

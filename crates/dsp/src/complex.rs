@@ -176,6 +176,8 @@ impl Mul<f64> for Complex {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    // Division via the reciprocal is the intended formula, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }

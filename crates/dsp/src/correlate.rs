@@ -213,7 +213,13 @@ mod tests {
         // Sine vs pseudo-random telegraph: low best correlation.
         let a: Vec<f64> = (0..n).map(|i| (2.0 * PI * i as f64 / 16.0).sin()).collect();
         let b: Vec<f64> = (0..n)
-            .map(|i| if (i * 2654435761usize) % 97 < 48 { 1.0 } else { -1.0 })
+            .map(|i| {
+                if (i * 2654435761usize) % 97 < 48 {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
             .collect();
         let cross = max_circular_correlation(&a, &b).unwrap();
         assert!(cross < 0.6, "cross {cross}");

@@ -41,11 +41,9 @@ impl fmt::Display for DspError {
             DspError::InvalidLength { what, got } => {
                 write!(f, "invalid length for {what}: {got}")
             }
-            DspError::FrequencyOutOfRange { freq_hz, fs_hz } => write!(
-                f,
-                "frequency {freq_hz} Hz outside [0, {}] Hz",
-                fs_hz / 2.0
-            ),
+            DspError::FrequencyOutOfRange { freq_hz, fs_hz } => {
+                write!(f, "frequency {freq_hz} Hz outside [0, {}] Hz", fs_hz / 2.0)
+            }
             DspError::NonPositive { what } => {
                 write!(f, "{what} must be strictly positive")
             }
@@ -73,7 +71,10 @@ mod tests {
                 fs_hz: 1e6,
             }
             .to_string(),
-            DspError::NonPositive { what: "sample rate" }.to_string(),
+            DspError::NonPositive {
+                what: "sample rate",
+            }
+            .to_string(),
         ];
         for m in msgs {
             assert!(!m.is_empty());

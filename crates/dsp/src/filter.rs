@@ -58,7 +58,9 @@ impl FirFilter {
         window: Window,
     ) -> Result<Self, DspError> {
         if fs_hz <= 0.0 {
-            return Err(DspError::NonPositive { what: "sample rate" });
+            return Err(DspError::NonPositive {
+                what: "sample rate",
+            });
         }
         if cutoff_hz <= 0.0 || cutoff_hz >= fs_hz / 2.0 {
             return Err(DspError::FrequencyOutOfRange {
@@ -72,7 +74,11 @@ impl FirFilter {
                 got: 0,
             });
         }
-        let n = if num_taps % 2 == 0 { num_taps + 1 } else { num_taps };
+        let n = if num_taps % 2 == 0 {
+            num_taps + 1
+        } else {
+            num_taps
+        };
         let fc = cutoff_hz / fs_hz; // normalized (cycles/sample)
         let mid = (n / 2) as isize;
         let mut taps: Vec<f64> = (0..n)
@@ -120,12 +126,7 @@ impl FirFilter {
         }
         let hi = FirFilter::low_pass(f_hi_hz, fs_hz, num_taps, window)?;
         let lo = FirFilter::low_pass(f_lo_hz, fs_hz, num_taps, window)?;
-        let mut taps: Vec<f64> = hi
-            .taps
-            .iter()
-            .zip(&lo.taps)
-            .map(|(&h, &l)| h - l)
-            .collect();
+        let mut taps: Vec<f64> = hi.taps.iter().zip(&lo.taps).map(|(&h, &l)| h - l).collect();
         // Normalize gain at band centre.
         let fc = (f_lo_hz + f_hi_hz) / 2.0 / fs_hz;
         let mut re = 0.0;
@@ -159,10 +160,7 @@ impl FirFilter {
     pub fn filter(&self, signal: &[f64]) -> Vec<f64> {
         let full = convolve(signal, &self.taps);
         let delay = (self.taps.len() - 1) / 2;
-        full.into_iter()
-            .skip(delay)
-            .take(signal.len())
-            .collect()
+        full.into_iter().skip(delay).take(signal.len()).collect()
     }
 
     /// Magnitude response at frequency `freq_hz` for sample rate `fs_hz`.
@@ -263,9 +261,7 @@ mod tests {
         let high: Vec<f64> = (0..n)
             .map(|i| (2.0 * PI * 300e3 * i as f64 / fs).sin())
             .collect();
-        let rms = |v: &[f64]| {
-            (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt()
-        };
+        let rms = |v: &[f64]| (v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64).sqrt();
         // Skip the transient at both ends.
         let y_low = lp.filter(&low);
         let y_high = lp.filter(&high);

@@ -56,6 +56,7 @@ pub mod error;
 pub mod fft;
 pub mod filter;
 pub mod peak;
+pub mod rng;
 pub mod spectrum;
 pub mod stats;
 pub mod window;

@@ -144,15 +144,15 @@ pub fn cfar_detect(x: &[f64], guard: usize, train: usize, scale: f64) -> Vec<usi
         // Left training cells.
         let lo_end = i.saturating_sub(guard);
         let lo_start = lo_end.saturating_sub(train);
-        for k in lo_start..lo_end {
-            acc += x[k];
+        for &v in &x[lo_start..lo_end] {
+            acc += v;
             count += 1;
         }
         // Right training cells.
         let hi_start = (i + guard + 1).min(n);
         let hi_end = (hi_start + train).min(n);
-        for k in hi_start..hi_end {
-            acc += x[k];
+        for &v in &x[hi_start..hi_end] {
+            acc += v;
             count += 1;
         }
         if count == 0 {

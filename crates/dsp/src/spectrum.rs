@@ -69,10 +69,7 @@ pub fn amplitude_spectrum(signal: &[f64], window: Window) -> Vec<f64> {
 /// # Errors
 ///
 /// Returns [`DspError::EmptyInput`] when `signal` is empty.
-pub fn try_amplitude_spectrum(
-    signal: &[f64],
-    window: Window,
-) -> Result<Vec<f64>, DspError> {
+pub fn try_amplitude_spectrum(signal: &[f64], window: Window) -> Result<Vec<f64>, DspError> {
     if signal.is_empty() {
         return Err(DspError::EmptyInput);
     }
@@ -110,16 +107,14 @@ pub fn amplitude_spectrum_db(signal: &[f64], window: Window) -> Vec<f64> {
 ///
 /// Returns [`DspError::EmptyInput`] for an empty signal and
 /// [`DspError::NonPositive`] for a non-positive sample rate.
-pub fn periodogram(
-    signal: &[f64],
-    fs_hz: f64,
-    window: Window,
-) -> Result<Vec<f64>, DspError> {
+pub fn periodogram(signal: &[f64], fs_hz: f64, window: Window) -> Result<Vec<f64>, DspError> {
     if signal.is_empty() {
         return Err(DspError::EmptyInput);
     }
     if fs_hz <= 0.0 {
-        return Err(DspError::NonPositive { what: "sample rate" });
+        return Err(DspError::NonPositive {
+            what: "sample rate",
+        });
     }
     let n = signal.len();
     let windowed = window.applied(signal);
@@ -160,7 +155,9 @@ pub fn welch_psd(
         return Err(DspError::EmptyInput);
     }
     if fs_hz <= 0.0 {
-        return Err(DspError::NonPositive { what: "sample rate" });
+        return Err(DspError::NonPositive {
+            what: "sample rate",
+        });
     }
     if segment_len == 0 || segment_len > signal.len() {
         return Err(DspError::InvalidLength {

@@ -229,10 +229,8 @@ impl Running {
         }
         let total = self.n + other.n;
         let delta = other.mean - self.mean;
-        self.mean = (self.mean * self.n as f64 + other.mean * other.n as f64)
-            / total as f64;
-        self.m2 += other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / total as f64;
+        self.mean = (self.mean * self.n as f64 + other.mean * other.n as f64) / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / total as f64;
         self.n = total;
     }
 }
@@ -325,13 +323,17 @@ mod tests {
     #[test]
     fn kurtosis_of_two_level_signal_is_minus_two() {
         // A ±1 square wave has kurtosis 1, excess -2.
-        let sq: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let sq: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!((kurtosis_excess(&sq) + 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn crest_factor_of_square_and_sine() {
-        let sq: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let sq: Vec<f64> = (0..1000)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!((crest_factor(&sq) - 1.0).abs() < 1e-9);
         let sine: Vec<f64> = (0..100000)
             .map(|i| (2.0 * std::f64::consts::PI * i as f64 / 1000.0).sin())

@@ -71,7 +71,9 @@ impl ZeroSpan {
     /// `rbw_hz <= 0`.
     pub fn with_rbw(center_hz: f64, fs_hz: f64, rbw_hz: f64) -> Result<Self, DspError> {
         if fs_hz <= 0.0 {
-            return Err(DspError::NonPositive { what: "sample rate" });
+            return Err(DspError::NonPositive {
+                what: "sample rate",
+            });
         }
         if center_hz <= 0.0 || center_hz >= fs_hz / 2.0 {
             return Err(DspError::FrequencyOutOfRange {

@@ -1,148 +1,220 @@
 //! Property-based tests for the DSP substrate.
+//!
+//! The container has no network access, so instead of the `proptest`
+//! crate these properties are checked over a deterministic seeded sweep:
+//! every case derives its inputs from `SmallRng`, which keeps failures
+//! reproducible (the failing seed is in the assertion message).
 
-use proptest::prelude::*;
+use psa_dsp::rng::SmallRng;
 use psa_dsp::window::Window;
 use psa_dsp::{correlate, fft, filter, spectrum, stats, Complex};
 
-fn finite_signal(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1.0e3..1.0e3f64, 1..max_len)
+const CASES: u64 = 64;
+
+/// A random vector with values in `[lo, hi)` and length in `[min_len, max_len)`.
+fn vec_in(rng: &mut SmallRng, lo: f64, hi: f64, min_len: usize, max_len: usize) -> Vec<f64> {
+    let n = min_len + rng.gen_index(max_len - min_len);
+    (0..n).map(|_| lo + (hi - lo) * rng.gen_f64()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn finite_signal(rng: &mut SmallRng, max_len: usize) -> Vec<f64> {
+    vec_in(rng, -1.0e3, 1.0e3, 1, max_len)
+}
 
-    /// fft followed by ifft returns the original signal.
-    #[test]
-    fn fft_ifft_roundtrip(re in prop::collection::vec(-1.0e3..1.0e3f64, 1..257)) {
+/// fft followed by ifft returns the original signal.
+#[test]
+fn fft_ifft_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let re = vec_in(&mut rng, -1.0e3, 1.0e3, 1, 257);
         let orig: Vec<Complex> = re.iter().map(|&r| Complex::new(r, -r * 0.5)).collect();
         let spec = fft::fft_any(&orig).unwrap();
         let back = fft::ifft_any(&spec).unwrap();
         for (a, b) in back.iter().zip(&orig) {
-            prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()));
+            assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()), "seed {case}");
         }
     }
+}
 
-    /// Parseval: time-domain energy equals frequency-domain energy / N.
-    #[test]
-    fn parseval_holds(x in finite_signal(300)) {
+/// Parseval: time-domain energy equals frequency-domain energy / N.
+#[test]
+fn parseval_holds() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let x = finite_signal(&mut rng, 300);
         let spec = fft::rfft(&x).unwrap();
         let te: f64 = x.iter().map(|v| v * v).sum();
         let fe: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
-        prop_assert!((te - fe).abs() <= 1e-6 * (1.0 + te));
+        assert!((te - fe).abs() <= 1e-6 * (1.0 + te), "seed {case}");
     }
+}
 
-    /// FFT linearity: F(a+b) == F(a) + F(b).
-    #[test]
-    fn fft_linearity(
-        a in prop::collection::vec(-100.0..100.0f64, 64),
-        b in prop::collection::vec(-100.0..100.0f64, 64),
-    ) {
+/// FFT linearity: F(a+b) == F(a) + F(b).
+#[test]
+fn fft_linearity() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let a = vec_in(&mut rng, -100.0, 100.0, 64, 65);
+        let b = vec_in(&mut rng, -100.0, 100.0, 64, 65);
         let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
         let fa = fft::rfft(&a).unwrap();
         let fb = fft::rfft(&b).unwrap();
         let fs = fft::rfft(&sum).unwrap();
         for k in 0..64 {
-            prop_assert!((fs[k] - (fa[k] + fb[k])).abs() < 1e-6);
+            assert!(
+                (fs[k] - (fa[k] + fb[k])).abs() < 1e-6,
+                "seed {case} bin {k}"
+            );
         }
     }
+}
 
-    /// Real-input FFT spectra are conjugate-symmetric.
-    #[test]
-    fn rfft_symmetry(x in finite_signal(200)) {
+/// Real-input FFT spectra are conjugate-symmetric.
+#[test]
+fn rfft_symmetry() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let x = finite_signal(&mut rng, 200);
         let spec = fft::rfft(&x).unwrap();
         let n = spec.len();
         for k in 1..n / 2 {
             let d = spec[n - k] - spec[k].conj();
-            prop_assert!(d.abs() < 1e-6 * (1.0 + spec[k].abs()));
+            assert!(
+                d.abs() < 1e-6 * (1.0 + spec[k].abs()),
+                "seed {case} bin {k}"
+            );
         }
     }
+}
 
-    /// Amplitude spectrum values are non-negative and finite.
-    #[test]
-    fn amplitude_spectrum_nonnegative(x in finite_signal(256)) {
+/// Amplitude spectrum values are non-negative and finite.
+#[test]
+fn amplitude_spectrum_nonnegative() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let x = finite_signal(&mut rng, 256);
         let s = spectrum::amplitude_spectrum(&x, Window::Hann);
-        prop_assert!(s.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        assert!(s.iter().all(|&v| v >= 0.0 && v.is_finite()), "seed {case}");
     }
+}
 
-    /// Convolution is commutative.
-    #[test]
-    fn convolution_commutes(
-        a in prop::collection::vec(-10.0..10.0f64, 1..40),
-        b in prop::collection::vec(-10.0..10.0f64, 1..40),
-    ) {
+/// Convolution is commutative.
+#[test]
+fn convolution_commutes() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let a = vec_in(&mut rng, -10.0, 10.0, 1, 40);
+        let b = vec_in(&mut rng, -10.0, 10.0, 1, 40);
         let ab = filter::convolve(&a, &b);
         let ba = filter::convolve(&b, &a);
-        prop_assert_eq!(ab.len(), ba.len());
+        assert_eq!(ab.len(), ba.len(), "seed {case}");
         for (x, y) in ab.iter().zip(&ba) {
-            prop_assert!((x - y).abs() < 1e-9);
+            assert!((x - y).abs() < 1e-9, "seed {case}");
         }
     }
+}
 
-    /// RMS is invariant to sign flips and scales linearly with gain.
-    #[test]
-    fn rms_properties(x in finite_signal(200), k in 0.01..100.0f64) {
+/// RMS is invariant to sign flips and scales linearly with gain.
+#[test]
+fn rms_properties() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let x = finite_signal(&mut rng, 200);
+        let k = 0.01 + 99.99 * rng.gen_f64();
         let flipped: Vec<f64> = x.iter().map(|v| -v).collect();
-        prop_assert!((stats::rms(&x) - stats::rms(&flipped)).abs() < 1e-9);
+        assert!(
+            (stats::rms(&x) - stats::rms(&flipped)).abs() < 1e-9,
+            "seed {case}"
+        );
         let scaled: Vec<f64> = x.iter().map(|v| v * k).collect();
-        prop_assert!((stats::rms(&scaled) - k * stats::rms(&x)).abs() < 1e-6 * (1.0 + stats::rms(&x) * k));
+        assert!(
+            (stats::rms(&scaled) - k * stats::rms(&x)).abs() < 1e-6 * (1.0 + stats::rms(&x) * k),
+            "seed {case}"
+        );
     }
+}
 
-    /// Percentiles are monotone in p and bracketed by min/max.
-    #[test]
-    fn percentile_monotone(x in finite_signal(100)) {
+/// Percentiles are monotone in p and bracketed by min/max.
+#[test]
+fn percentile_monotone() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let x = finite_signal(&mut rng, 100);
         let (lo, hi) = stats::min_max(&x);
         let mut prev = f64::NEG_INFINITY;
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
             let v = stats::percentile(&x, p);
-            prop_assert!(v >= prev - 1e-12);
-            prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+            assert!(v >= prev - 1e-12, "seed {case} p {p}");
+            assert!(v >= lo - 1e-12 && v <= hi + 1e-12, "seed {case} p {p}");
             prev = v;
         }
     }
+}
 
-    /// Pearson correlation is symmetric and bounded.
-    #[test]
-    fn pearson_bounds(
-        a in prop::collection::vec(-100.0..100.0f64, 3..50),
-    ) {
+/// Pearson correlation is symmetric and bounded.
+#[test]
+fn pearson_bounds() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let a = vec_in(&mut rng, -100.0, 100.0, 3, 50);
         let b: Vec<f64> = a.iter().map(|v| v * 2.0 + 1.0).collect();
         let r = correlate::pearson(&a, &b).unwrap();
-        prop_assert!(r <= 1.0 + 1e-9);
+        assert!(r <= 1.0 + 1e-9, "seed {case}");
         // A positive affine map gives correlation 1 (or 0 if degenerate).
-        prop_assert!(r > 0.999 || r == 0.0);
+        assert!(r > 0.999 || r == 0.0, "seed {case} r {r}");
         let rab = correlate::pearson(&a, &b).unwrap();
         let rba = correlate::pearson(&b, &a).unwrap();
-        prop_assert!((rab - rba).abs() < 1e-12);
+        assert!((rab - rba).abs() < 1e-12, "seed {case}");
     }
+}
 
-    /// Welford running stats match batch stats.
-    #[test]
-    fn running_matches_batch(x in finite_signal(300)) {
+/// Welford running stats match batch stats.
+#[test]
+fn running_matches_batch() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let x = finite_signal(&mut rng, 300);
         let mut r = stats::Running::new();
         for &v in &x {
             r.push(v);
         }
-        prop_assert!((r.mean() - stats::mean(&x)).abs() < 1e-6 * (1.0 + stats::mean(&x).abs()));
-        prop_assert!((r.variance() - stats::variance(&x)).abs() < 1e-5 * (1.0 + stats::variance(&x)));
+        assert!(
+            (r.mean() - stats::mean(&x)).abs() < 1e-6 * (1.0 + stats::mean(&x).abs()),
+            "seed {case}"
+        );
+        assert!(
+            (r.variance() - stats::variance(&x)).abs() < 1e-5 * (1.0 + stats::variance(&x)),
+            "seed {case}"
+        );
     }
+}
 
-    /// Window coherent gain is in (0, 1] for every window.
-    #[test]
-    fn window_gains_bounded(n in 2usize..512) {
+/// Window coherent gain is in (0, 1] for every window.
+#[test]
+fn window_gains_bounded() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let n = 2 + rng.gen_index(510);
         for w in Window::ALL {
             let cg = w.coherent_gain(n);
-            prop_assert!(cg > 0.0 && cg <= 1.0 + 1e-12, "{} cg={}", w, cg);
+            assert!(cg > 0.0 && cg <= 1.0 + 1e-12, "{w} cg={cg} seed {case}");
             let ng = w.noise_gain(n);
-            prop_assert!(ng > 0.0 && ng <= 1.0 + 1e-12);
+            assert!(ng > 0.0 && ng <= 1.0 + 1e-12, "{w} ng={ng} seed {case}");
         }
     }
+}
 
-    /// Resampling a constant series stays constant.
-    #[test]
-    fn resample_constant(v in -100.0..100.0f64, n in 1usize..50, m in 1usize..200) {
+/// Resampling a constant series stays constant.
+#[test]
+fn resample_constant() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let v = -100.0 + 200.0 * rng.gen_f64();
+        let n = 1 + rng.gen_index(49);
+        let m = 1 + rng.gen_index(199);
         let series = vec![v; n];
         let out = spectrum::resample_linear(&series, m).unwrap();
-        prop_assert_eq!(out.len(), m);
-        prop_assert!(out.iter().all(|&o| (o - v).abs() < 1e-9));
+        assert_eq!(out.len(), m, "seed {case}");
+        assert!(out.iter().all(|&o| (o - v).abs() < 1e-9), "seed {case}");
     }
 }

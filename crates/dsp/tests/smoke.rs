@@ -1,0 +1,15 @@
+//! Crate smoke test: the FFT entry point round-trips.
+
+use psa_dsp::{fft, Complex};
+
+#[test]
+fn fft_roundtrip_smoke() {
+    let x: Vec<Complex> = (0..64)
+        .map(|i| Complex::new((i as f64 * 0.3).sin(), 0.0))
+        .collect();
+    let spec = fft::fft_any(&x).unwrap();
+    let back = fft::ifft_any(&spec).unwrap();
+    for (a, b) in back.iter().zip(&x) {
+        assert!((*a - *b).abs() < 1e-9);
+    }
+}

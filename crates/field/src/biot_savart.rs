@@ -146,7 +146,11 @@ mod tests {
         let b = field_of(&loop_segs, [0.0, 0.0, 0.0]);
         let expected = 2.0 * 2f64.sqrt() * (4.0 * std::f64::consts::PI * MU0_OVER_4PI)
             / (std::f64::consts::PI * a_um * UM);
-        assert!((b[2] - expected).abs() / expected < 1e-9, "{} vs {expected}", b[2]);
+        assert!(
+            (b[2] - expected).abs() / expected < 1e-9,
+            "{} vs {expected}",
+            b[2]
+        );
         assert!(b[0].abs() < expected * 1e-9);
     }
 

@@ -140,8 +140,7 @@ impl Dipole {
 pub fn on_axis_circle_flux(moment: f64, r_um: f64, z_um: f64) -> f64 {
     let r = r_um * UM;
     let z = z_um * UM;
-    4.0 * std::f64::consts::PI * MU0_OVER_4PI * moment * r * r
-        / (2.0 * (r * r + z * z).powf(1.5))
+    4.0 * std::f64::consts::PI * MU0_OVER_4PI * moment * r * r / (2.0 * (r * r + z * z).powf(1.5))
 }
 
 /// A regular polygon approximating a circle (counter-clockwise), used by
@@ -227,7 +226,9 @@ mod tests {
     #[test]
     fn winding_direction_flips_sign() {
         let d = Dipole::new(Point::ORIGIN, M);
-        let ccw = Rect::centered(Point::ORIGIN, 60.0, 60.0).unwrap().to_polygon();
+        let ccw = Rect::centered(Point::ORIGIN, 60.0, 60.0)
+            .unwrap()
+            .to_polygon();
         let cw = Polygon::new(ccw.vertices().iter().rev().copied().collect()).unwrap();
         let f_ccw = d.flux_through_polygon(&ccw, 5.0);
         let f_cw = d.flux_through_polygon(&cw, 5.0);

@@ -42,9 +42,14 @@ mod tests {
 
     #[test]
     fn messages_render() {
-        assert!(!FieldError::InvalidParameter { what: "z" }.to_string().is_empty());
-        assert!(FieldError::DimensionMismatch { expected: 3, got: 2 }
+        assert!(!FieldError::InvalidParameter { what: "z" }
             .to_string()
-            .contains('3'));
+            .is_empty());
+        assert!(FieldError::DimensionMismatch {
+            expected: 3,
+            got: 2
+        }
+        .to_string()
+        .contains('3'));
     }
 }

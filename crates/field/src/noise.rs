@@ -6,8 +6,7 @@
 //! the ambient/environment noise floor that on-chip sensors are shielded
 //! from by proximity and differential readout.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use psa_dsp::rng::SmallRng;
 
 /// Boltzmann constant, J/K.
 pub const K_BOLTZMANN: f64 = 1.380649e-23;
@@ -28,10 +27,10 @@ pub fn thermal_noise_vrms(r_ohm: f64, t_kelvin: f64, bw_hz: f64) -> f64 {
     (4.0 * K_BOLTZMANN * t_kelvin * r_ohm.max(0.0) * bw_hz.max(0.0)).sqrt()
 }
 
-/// A seeded Gaussian noise generator (Box–Muller over `StdRng`).
+/// A seeded Gaussian noise generator (Box–Muller over a seeded [`SmallRng`]).
 #[derive(Debug, Clone)]
 pub struct GaussianNoise {
-    rng: StdRng,
+    rng: SmallRng,
     sigma: f64,
     spare: Option<f64>,
 }
@@ -40,7 +39,7 @@ impl GaussianNoise {
     /// Creates a generator with standard deviation `sigma`.
     pub fn new(sigma: f64, seed: u64) -> Self {
         GaussianNoise {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
             sigma,
             spare: None,
         }
@@ -52,13 +51,16 @@ impl GaussianNoise {
     }
 
     /// One sample.
+    // Generator-style `next()` is the intended API; these are not iterators
+    // (no natural end, and `Iterator::next` would box every sample in Some).
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> f64 {
         if let Some(s) = self.spare.take() {
             return s * self.sigma;
         }
         // Box-Muller.
-        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
-        let u2: f64 = self.rng.gen::<f64>();
+        let u1: f64 = self.rng.gen_open01();
+        let u2: f64 = self.rng.gen_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let th = 2.0 * std::f64::consts::PI * u2;
         self.spare = Some(r * th.sin());
@@ -108,6 +110,7 @@ impl PinkNoise {
     }
 
     /// One sample.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> f64 {
         if !self.warmup_done {
             for _ in 0..256 {
@@ -152,8 +155,7 @@ mod tests {
         let mut g = GaussianNoise::new(2.0, 42);
         let xs = g.samples(200_000);
         let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var: f64 =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
         assert!(mean.abs() < 0.02, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.02, "sigma {}", var.sqrt());
     }
@@ -192,8 +194,7 @@ mod tests {
         let mut p = PinkNoise::new(1.0, 5);
         let xs = p.samples(50_000);
         let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var: f64 =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
         let lag1: f64 = xs
             .windows(2)
             .map(|w| (w[0] - mean) * (w[1] - mean))

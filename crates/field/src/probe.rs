@@ -149,12 +149,7 @@ mod tests {
     fn psa_sensor_couples_far_better_than_external_probes() {
         // One unit dipole under sensor 10's footprint.
         let d = Dipole::new(Point::new(611.0, 611.0), 1.0);
-        let psa = ProbeModel::psa_sensor(
-            Rect::new(445.3, 445.3, 777.5, 777.5),
-            4.8,
-            30.0,
-            34.0,
-        );
+        let psa = ProbeModel::psa_sensor(Rect::new(445.3, 445.3, 777.5, 777.5), 4.8, 30.0, 34.0);
         let lf1 = ProbeModel::langer_lf1(Point::new(500.0, 500.0));
         let icr = ProbeModel::icr_hh100_6(Point::new(611.0, 611.0));
         let k_psa = d.flux_through_polygon(&psa.loop_poly, psa.z_um).abs();
@@ -170,12 +165,7 @@ mod tests {
     #[test]
     fn psa_sensor_beats_whole_die_coil_on_matched_source() {
         let d = Dipole::new(Point::new(611.0, 611.0), 1.0);
-        let psa = ProbeModel::psa_sensor(
-            Rect::new(445.3, 445.3, 777.5, 777.5),
-            4.8,
-            30.0,
-            34.0,
-        );
+        let psa = ProbeModel::psa_sensor(Rect::new(445.3, 445.3, 777.5, 777.5), 4.8, 30.0, 34.0);
         let single = ProbeModel::single_coil_on_chip(die(), 4.8);
         let k_psa = d.flux_through_polygon(&psa.loop_poly, psa.z_um).abs();
         let k_single = d.flux_through_polygon(&single.loop_poly, single.z_um).abs();
@@ -187,8 +177,7 @@ mod tests {
     #[test]
     fn external_probes_carry_ambient_noise() {
         let lf1 = ProbeModel::langer_lf1(Point::new(500.0, 500.0));
-        let psa =
-            ProbeModel::psa_sensor(Rect::new(0.0, 0.0, 300.0, 300.0), 4.8, 30.0, 34.0);
+        let psa = ProbeModel::psa_sensor(Rect::new(0.0, 0.0, 300.0, 300.0), 4.8, 30.0, 34.0);
         let bw = 120.0e6;
         // On-chip sensors see only their own thermal noise; external
         // probes add an ambient floor on top of theirs.
@@ -208,8 +197,7 @@ mod tests {
         assert!((ProbeModel::icr_hh100_6(c).ambient_noise_vrms - 0.75e-4).abs() < 1e-9);
         let die = Rect::new(0.0, 0.0, 1000.0, 1000.0);
         assert!(
-            (ProbeModel::single_coil_on_chip(die, 4.8).ambient_noise_vrms - 1.05e-4).abs()
-                < 1e-9
+            (ProbeModel::single_coil_on_chip(die, 4.8).ambient_noise_vrms - 1.05e-4).abs() < 1e-9
         );
     }
 

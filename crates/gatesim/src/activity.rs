@@ -105,8 +105,8 @@ impl Default for ChipConfig {
         ChipConfig {
             clk_hz: 33.0e6,
             key: [
-                0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
-                0x09, 0xcf, 0x4f, 0x3c,
+                0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+                0x4f, 0x3c,
             ],
             aes_mode: AesMode::Continuous,
             trojan_enables: [false; 4],
@@ -130,17 +130,12 @@ pub struct ActivityTrace {
 impl ActivityTrace {
     /// Window length in cycles.
     pub fn cycles(&self) -> usize {
-        self.per_source
-            .values()
-            .next()
-            .map_or(0, |v| v.len())
+        self.per_source.values().next().map_or(0, |v| v.len())
     }
 
     /// Total toggles of one source over the window.
     pub fn total(&self, source: Source) -> f64 {
-        self.per_source
-            .get(&source)
-            .map_or(0.0, |v| v.iter().sum())
+        self.per_source.get(&source).map_or(0.0, |v| v.iter().sum())
     }
 }
 
@@ -295,12 +290,9 @@ impl ActivitySimulator {
             // UART: clock share plus streaming activity when paced.
             let mut uart_toggles = uart_cells as f64 * clock_factor;
             if matches!(self.config.aes_mode, AesMode::UartPaced) {
-                let byte = self.block_plaintext
-                    [(self.uart_byte_index % 16) as usize];
-                uart_toggles += uart_cells as f64
-                    * 0.02
-                    * self.uart.activity_per_cycle(byte)
-                    * 100.0;
+                let byte = self.block_plaintext[(self.uart_byte_index % 16) as usize];
+                uart_toggles +=
+                    uart_cells as f64 * 0.02 * self.uart.activity_per_cycle(byte) * 100.0;
                 if self.cycle % self.uart.cycles_per_byte().max(1) == 0 {
                     self.uart_byte_index += 1;
                 }
@@ -387,7 +379,7 @@ mod tests {
             assert!((v - expected).abs() < 1e-9);
         }
         // The idle chip is far quieter than an operating one.
-        assert!(ActivitySimulator::IDLE_FACTOR < ActivitySimulator::CLOCK_TREE_FACTOR / 10.0);
+        const { assert!(ActivitySimulator::IDLE_FACTOR < ActivitySimulator::CLOCK_TREE_FACTOR / 10.0) }
     }
 
     #[test]
@@ -411,8 +403,7 @@ mod tests {
         let t = sim.advance(120);
         let aes = &t.per_source[&Source::AesCore];
         let mean: f64 = aes.iter().sum::<f64>() / aes.len() as f64;
-        let var: f64 =
-            aes.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / aes.len() as f64;
+        let var: f64 = aes.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / aes.len() as f64;
         assert!(var > 1.0, "AES activity should be data-dependent");
     }
 
@@ -422,10 +413,7 @@ mod tests {
         let t = sim.advance(2000);
         for kind in [TrojanKind::T2, TrojanKind::T3, TrojanKind::T4] {
             let total = t.total(Source::for_trojan(kind));
-            assert!(
-                total < 2000.0 * 3.0,
-                "{kind} dormant total {total}"
-            );
+            assert!(total < 2000.0 * 3.0, "{kind} dormant total {total}");
         }
     }
 
@@ -443,8 +431,10 @@ mod tests {
 
     #[test]
     fn t2_activates_with_forced_trigger_plaintexts() {
-        let mut cfg = ChipConfig::default();
-        cfg.force_t2_trigger = true;
+        let cfg = ChipConfig {
+            force_t2_trigger: true,
+            ..Default::default()
+        };
         let mut sim = ActivitySimulator::new(cfg);
         let t = sim.advance(2000);
         assert!(sim.trojan_triggered(TrojanKind::T2));
@@ -468,7 +458,7 @@ mod tests {
         let clock_only = 21_200.0 * ActivitySimulator::CLOCK_TREE_FACTOR;
         let busy_cycles = aes.iter().filter(|&&v| v > clock_only + 1.0).count();
         // Only ~12 of every 5280 cycles encrypt.
-        assert!(busy_cycles >= 12 && busy_cycles < 160, "busy {busy_cycles}");
+        assert!((12..160).contains(&busy_cycles), "busy {busy_cycles}");
     }
 
     #[test]

@@ -14,8 +14,7 @@ pub const SAMPLES_PER_CYCLE: usize = 8;
 /// Normalized per-cycle pulse shape (sums to 1): a fast rise and
 /// two-sample decay right after the clock edge, then quiet until the next
 /// edge. Index = sample within the cycle.
-pub const PULSE_SHAPE: [f64; SAMPLES_PER_CYCLE] =
-    [0.50, 0.30, 0.15, 0.05, 0.0, 0.0, 0.0, 0.0];
+pub const PULSE_SHAPE: [f64; SAMPLES_PER_CYCLE] = [0.50, 0.30, 0.15, 0.05, 0.0, 0.0, 0.0, 0.0];
 
 /// Converts one source's per-cycle toggle counts into a current waveform
 /// in amperes.

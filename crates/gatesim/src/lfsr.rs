@@ -34,8 +34,12 @@ impl Lfsr {
     ///
     /// Panics if `width` is 0 or exceeds 64.
     pub fn new(seed: u64, taps: u64, width: u32) -> Self {
-        assert!(width >= 1 && width <= 64, "width must be in 1..=64");
-        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        assert!((1..=64).contains(&width), "width must be in 1..=64");
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
         let state = seed & mask;
         Lfsr {
             state: if state == 0 { 1 } else { state },

@@ -334,7 +334,8 @@ pub fn build_counter_with_compare(
         let d = nl.add_signal();
         let next_carry = nl.add_signal();
         // d = q XOR carry; next_carry = q AND carry.
-        nl.add_gate(GateKind::Xor2, [q, carry], d).expect("valid ids");
+        nl.add_gate(GateKind::Xor2, [q, carry], d)
+            .expect("valid ids");
         nl.add_gate(GateKind::And2, [q, carry], next_carry)
             .expect("valid ids");
         nl.add_dff(d, q);
@@ -381,15 +382,18 @@ pub fn build_comparator_with_chain(
     for (i, &inp) in inputs.iter().enumerate() {
         let m = nl.add_signal();
         if (pattern >> i) & 1 == 1 {
-            nl.add_gate(GateKind::Buf, [inp, inp], m).expect("valid ids");
+            nl.add_gate(GateKind::Buf, [inp, inp], m)
+                .expect("valid ids");
         } else {
-            nl.add_gate(GateKind::Not, [inp, inp], m).expect("valid ids");
+            nl.add_gate(GateKind::Not, [inp, inp], m)
+                .expect("valid ids");
         }
         acc = Some(match acc {
             None => m,
             Some(prev) => {
                 let next = nl.add_signal();
-                nl.add_gate(GateKind::And2, [prev, m], next).expect("valid ids");
+                nl.add_gate(GateKind::And2, [prev, m], next)
+                    .expect("valid ids");
                 next
             }
         });
@@ -400,7 +404,8 @@ pub fn build_comparator_with_chain(
     let osc_q = nl.add_signal();
     let osc_d = nl.add_signal();
     let gated = nl.add_signal();
-    nl.add_gate(GateKind::Not, [osc_q, osc_q], osc_d).expect("valid ids");
+    nl.add_gate(GateKind::Not, [osc_q, osc_q], osc_d)
+        .expect("valid ids");
     nl.add_dff(osc_d, osc_q);
     nl.add_gate(GateKind::And2, [osc_q, matched], gated)
         .expect("valid ids");
@@ -408,7 +413,8 @@ pub fn build_comparator_with_chain(
     let mut prev = gated;
     for _ in 0..chain_len {
         let out = nl.add_signal();
-        nl.add_gate(GateKind::Not, [prev, prev], out).expect("valid ids");
+        nl.add_gate(GateKind::Not, [prev, prev], out)
+            .expect("valid ids");
         chain.push(out);
         prev = out;
     }
@@ -495,8 +501,7 @@ mod tests {
             nl.step().unwrap();
         }
         nl.set_input(en, false).unwrap();
-        let snapshot: Vec<bool> =
-            bits.iter().map(|&b| nl.signal(b).unwrap()).collect();
+        let snapshot: Vec<bool> = bits.iter().map(|&b| nl.signal(b).unwrap()).collect();
         for _ in 0..10 {
             nl.step().unwrap();
         }
@@ -506,8 +511,7 @@ mod tests {
 
     #[test]
     fn comparator_matches_only_pattern() {
-        let (mut nl, inputs, matched, _chain) =
-            build_comparator_with_chain(0xAAAA, 16, 8);
+        let (mut nl, inputs, matched, _chain) = build_comparator_with_chain(0xAAAA, 16, 8);
         // Apply the trigger pattern.
         for (i, &inp) in inputs.iter().enumerate() {
             nl.set_input(inp, (0xAAAAu64 >> i) & 1 == 1).unwrap();
@@ -522,8 +526,7 @@ mod tests {
 
     #[test]
     fn chain_toggles_only_when_triggered() {
-        let (mut nl, inputs, _matched, _chain) =
-            build_comparator_with_chain(0xAAAA, 16, 64);
+        let (mut nl, inputs, _matched, _chain) = build_comparator_with_chain(0xAAAA, 16, 64);
         // Wrong pattern: settle, then measure steady-state activity.
         for &inp in &inputs {
             nl.set_input(inp, false).unwrap();
@@ -548,10 +551,7 @@ mod tests {
             nl.step().unwrap();
             active += nl.toggles_last_step();
         }
-        assert!(
-            active > idle + 16 * 32,
-            "active {active} vs idle {idle}"
-        );
+        assert!(active > idle + 16 * 32, "active {active} vs idle {idle}");
     }
 
     #[test]

@@ -25,8 +25,7 @@ use std::fmt;
 
 /// The common 11-cycle activity pattern of the Trojan payload logic
 /// (binarized 5/11-cycle tone; see module docs).
-pub const CHIP_PATTERN_11: [f64; 11] =
-    [1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+pub const CHIP_PATTERN_11: [f64; 11] = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 1.0, 0.0];
 
 /// T1's counter width: triggers when the counter reaches `21'h1F_FFFF`.
 pub const T1_COUNTER_BITS: u32 = 21;
@@ -60,8 +59,12 @@ pub enum TrojanKind {
 
 impl TrojanKind {
     /// All four Trojans.
-    pub const ALL: [TrojanKind; 4] =
-        [TrojanKind::T1, TrojanKind::T2, TrojanKind::T3, TrojanKind::T4];
+    pub const ALL: [TrojanKind; 4] = [
+        TrojanKind::T1,
+        TrojanKind::T2,
+        TrojanKind::T3,
+        TrojanKind::T4,
+    ];
 
     /// Standard-cell count (Table II).
     pub fn cell_count(self) -> usize {
@@ -203,8 +206,7 @@ impl Trojan {
         }
         let pattern = CHIP_PATTERN_11[(ctx.cycle % 11) as usize];
         let envelope = self.envelope(ctx);
-        let peak =
-            self.kind.cell_count() as f64 * self.kind.activity_factor();
+        let peak = self.kind.cell_count() as f64 * self.kind.activity_factor();
         idle + peak * pattern * envelope
     }
 
@@ -218,8 +220,7 @@ impl Trojan {
                 if self.counter == T1_TRIGGER_VALUE {
                     self.active_until = Some(ctx.cycle + T1_ACTIVE_CYCLES);
                 }
-                let counter_active =
-                    self.active_until.is_some_and(|until| ctx.cycle < until);
+                let counter_active = self.active_until.is_some_and(|until| ctx.cycle < until);
                 counter_active || ctx.external_enable
             }
             TrojanKind::T2 => {
@@ -255,8 +256,7 @@ impl Trojan {
                     self.pn_bit = self.pn.next_bit();
                 }
                 let bit_index = ((ctx.cycle / 64) % 128) as usize;
-                let key_bit =
-                    (self.key_bits[bit_index / 8] >> (bit_index % 8)) & 1 == 1;
+                let key_bit = (self.key_bits[bit_index / 8] >> (bit_index % 8)) & 1 == 1;
                 if self.pn_bit ^ key_bit {
                     1.0
                 } else {
@@ -340,17 +340,13 @@ mod tests {
             let mut max_activity = 0.0f64;
             for c in 0..10_000 {
                 let a = t.step(&ctx(c, false));
-                if kind == TrojanKind::T2 || kind == TrojanKind::T3 || kind == TrojanKind::T4
-                {
+                if kind == TrojanKind::T2 || kind == TrojanKind::T3 || kind == TrojanKind::T4 {
                     max_activity = max_activity.max(a);
                 }
                 let _ = a;
             }
             if kind != TrojanKind::T1 {
-                assert!(
-                    max_activity < 5.0,
-                    "{kind} dormant activity {max_activity}"
-                );
+                assert!(max_activity < 5.0, "{kind} dormant activity {max_activity}");
                 assert!(!t.is_triggered());
             }
         }
@@ -387,7 +383,10 @@ mod tests {
             }
         }
         let at = activated_at.expect("T1 must self-trigger");
-        assert!((at as i64 - T1_TRIGGER_VALUE as i64).abs() <= 1, "fired at {at}");
+        assert!(
+            (at as i64 - T1_TRIGGER_VALUE as i64).abs() <= 1,
+            "fired at {at}"
+        );
     }
 
     #[test]

@@ -1,0 +1,10 @@
+//! Crate smoke test: AES-128 matches the FIPS-197 test vector.
+
+use psa_gatesim::aes::Aes128;
+
+#[test]
+fn aes_smoke() {
+    let aes = Aes128::new(&[0u8; 16]);
+    let ct = aes.encrypt_block(&[0u8; 16]);
+    assert_eq!(ct[0], 0x66);
+}

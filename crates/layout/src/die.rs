@@ -8,10 +8,9 @@
 //! compared to the millimetre-scale standoff of an external probe.
 
 use crate::geom::Rect;
-use serde::{Deserialize, Serialize};
 
 /// One metal layer of the stack.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MetalLayer {
     /// 1-based index (M1 = 1 … M8 = 8).
     pub index: u8,
@@ -34,7 +33,7 @@ pub struct MetalLayer {
 /// // PSA metals are the two topmost.
 /// assert_eq!(die.psa_layers(), (7, 8));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Die {
     outline: Rect,
     layers: Vec<MetalLayer>,

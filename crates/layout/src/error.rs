@@ -36,14 +36,20 @@ pub enum LayoutError {
 impl fmt::Display for LayoutError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LayoutError::DegenerateRect { width_um, height_um } => {
+            LayoutError::DegenerateRect {
+                width_um,
+                height_um,
+            } => {
                 write!(f, "degenerate rectangle {width_um} x {height_um} um")
             }
             LayoutError::TooFewVertices { got } => {
                 write!(f, "polygon needs at least 3 vertices, got {got}")
             }
             LayoutError::NotFound { what } => write!(f, "{what} not found"),
-            LayoutError::RegionOverflow { requested, capacity } => write!(
+            LayoutError::RegionOverflow {
+                requested,
+                capacity,
+            } => write!(
                 f,
                 "placement overflow: {requested} cells requested, {capacity} fit"
             ),

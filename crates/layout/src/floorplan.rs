@@ -18,11 +18,10 @@ use crate::die::Die;
 use crate::error::LayoutError;
 use crate::geom::Rect;
 use crate::stdcell::CellMix;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The modules placed on the test chip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum ModuleKind {
     /// The AES-128-LUT main circuit (Morioka/Satoh S-box architecture).
@@ -81,7 +80,7 @@ impl fmt::Display for ModuleKind {
 }
 
 /// A placed module: its kind, region, cell count and cell mix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Module {
     /// Which module this is.
     pub kind: ModuleKind,
@@ -103,7 +102,7 @@ pub struct Module {
 /// assert_eq!(fp.total_cells(), 28806); // Table II "Overall"
 /// assert!(fp.module(ModuleKind::AesCore).unwrap().region.area() > 1e5);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Floorplan {
     die: Die,
     modules: Vec<Module>,

@@ -6,7 +6,6 @@
 //! exotic.
 
 use crate::error::LayoutError;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A point in the die plane (µm).
@@ -18,7 +17,7 @@ use std::fmt;
 /// let p = Point::new(3.0, 4.0);
 /// assert_eq!(p.distance_to(Point::ORIGIN), 5.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
     /// X coordinate in microns.
     pub x: f64,
@@ -62,7 +61,7 @@ impl fmt::Display for Point {
 /// assert_eq!(r.area(), 50.0);
 /// assert!(r.contains(psa_layout::Point::new(5.0, 2.5)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
     min: Point,
     max: Point,
@@ -230,7 +229,7 @@ impl fmt::Display for Rect {
 /// assert_eq!(tri.area(), 6.0);
 /// # Ok::<(), psa_layout::LayoutError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Polygon {
     vertices: Vec<Point>,
 }
@@ -338,7 +337,12 @@ impl Polygon {
 
 impl fmt::Display for Polygon {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "polygon[{} vertices, {:.1} um^2]", self.vertices.len(), self.area())
+        write!(
+            f,
+            "polygon[{} vertices, {:.1} um^2]",
+            self.vertices.len(),
+            self.area()
+        )
     }
 }
 

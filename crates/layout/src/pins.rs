@@ -6,11 +6,10 @@
 //! `PSA_sel` sensor-select bus; the left and top carry UART, clock,
 //! reset, and the Trojan enable/observation pins used in the experiments.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which side of the QFN package a pin is on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PinSide {
     /// Left edge (pins 1–8, bottom to top).
     Left,
@@ -35,7 +34,7 @@ impl fmt::Display for PinSide {
 }
 
 /// One package pin.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Pin {
     /// 1-based package pin number (1–32).
     pub number: u8,
@@ -56,7 +55,7 @@ pub struct Pin {
 /// // The PSA's differential outputs occupy the whole right side.
 /// assert_eq!(pinout.find("Sensor1+").unwrap().side, psa_layout::pins::PinSide::Right);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pinout {
     pins: Vec<Pin>,
 }
@@ -71,12 +70,11 @@ impl Pinout {
             "en_T1", "am_out", "CLK", "rst_n", "en_UART", "en_LFSR", "Drdy1", "VSS",
         ];
         let right = [
-            "Sensor4+", "Sensor4-", "Sensor3+", "Sensor3-", "Sensor2+", "Sensor2-",
-            "Sensor1+", "Sensor1-",
+            "Sensor4+", "Sensor4-", "Sensor3+", "Sensor3-", "Sensor2+", "Sensor2-", "Sensor1+",
+            "Sensor1-",
         ];
         let bottom = [
-            "VDD", "VSS", "UART_in", "UART_out", "PSA_sel0", "PSA_sel1", "PSA_sel2",
-            "PSA_sel3",
+            "VDD", "VSS", "UART_in", "UART_out", "PSA_sel0", "PSA_sel1", "PSA_sel2", "PSA_sel3",
         ];
         let mut pins = Vec::with_capacity(32);
         let mut number = 1u8;

@@ -12,13 +12,12 @@ use crate::error::LayoutError;
 use crate::floorplan::{Floorplan, Module, ModuleKind};
 use crate::geom::{Point, Rect};
 use crate::stdcell::StdCellKind;
-use serde::{Deserialize, Serialize};
 
 /// Standard-cell row height, µm (65 nm-class 9-track library).
 pub const CELL_ROW_HEIGHT_UM: f64 = 1.8;
 
 /// A placed standard cell.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlacedCell {
     /// Cell kind.
     pub kind: StdCellKind,
@@ -29,7 +28,7 @@ pub struct PlacedCell {
 }
 
 /// A cluster of placed cells acting as one EM source tile.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cluster {
     /// Charge-weighted centroid of the member cells, µm.
     pub centroid: Point,
@@ -122,7 +121,7 @@ fn mix_pattern(module: &Module) -> Vec<StdCellKind> {
     let mut pattern = Vec::with_capacity(100);
     for (kind, w) in module.mix.entries() {
         let n = (w * 100.0).round() as usize;
-        pattern.extend(std::iter::repeat(*kind).take(n.max(1)));
+        pattern.extend(std::iter::repeat_n(*kind, n.max(1)));
     }
     if pattern.is_empty() {
         pattern.push(StdCellKind::Nand2);
@@ -135,10 +134,7 @@ fn mix_pattern(module: &Module) -> Vec<StdCellKind> {
 /// # Errors
 ///
 /// Propagates [`LayoutError::RegionOverflow`] from any module.
-pub fn place_floorplan(
-    fp: &Floorplan,
-    seed: u64,
-) -> Result<Vec<PlacedCell>, LayoutError> {
+pub fn place_floorplan(fp: &Floorplan, seed: u64) -> Result<Vec<PlacedCell>, LayoutError> {
     let mut all = Vec::with_capacity(fp.total_cells());
     for m in fp.modules() {
         all.extend(place_module(m, seed)?);
@@ -151,8 +147,11 @@ pub fn place_floorplan(
 /// model.
 pub fn cluster_cells(cells: &[PlacedCell], tile_um: f64) -> Vec<Cluster> {
     use std::collections::HashMap;
+    // Weighted-centroid accumulator per (module, tile-x, tile-y):
+    // Σx·q, Σy·q, Σq, cell count.
+    type TileAccum = (f64, f64, f64, usize);
     let tile = tile_um.max(1.0);
-    let mut map: HashMap<(ModuleKind, i64, i64), (f64, f64, f64, usize)> = HashMap::new();
+    let mut map: HashMap<(ModuleKind, i64, i64), TileAccum> = HashMap::new();
     for cell in cells {
         let tx = (cell.pos.x / tile).floor() as i64;
         let ty = (cell.pos.y / tile).floor() as i64;
@@ -252,7 +251,13 @@ mod tests {
             let cells = place_module(m, 7).unwrap();
             let grown = m.region.inflate(0.5); // jitter allowance
             for c in &cells {
-                assert!(grown.contains(c.pos), "{} cell at {} outside {}", m.kind, c.pos, m.region);
+                assert!(
+                    grown.contains(c.pos),
+                    "{} cell at {} outside {}",
+                    m.kind,
+                    c.pos,
+                    m.region
+                );
             }
         }
     }
@@ -285,10 +290,7 @@ mod tests {
         let clusters = cluster_cells(&cells, 50.0);
         let total_cells: usize = clusters.iter().map(|c| c.cell_count).sum();
         assert_eq!(total_cells, cells.len());
-        let total_q_cells: f64 = cells
-            .iter()
-            .map(|c| c.kind.switching_charge_fc())
-            .sum();
+        let total_q_cells: f64 = cells.iter().map(|c| c.kind.switching_charge_fc()).sum();
         let total_q_clusters: f64 = clusters.iter().map(|c| c.total_charge_fc).sum();
         assert!((total_q_cells - total_q_clusters).abs() < 1e-6 * total_q_cells);
     }

@@ -6,11 +6,10 @@
 //! magnitudes matter to the reproduced figures, and they are calibrated
 //! once in `psa-core::calib`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Standard-cell families used by the test chip and its Trojans.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum StdCellKind {
     /// Inverter (T2's leakage-amplifier chain is built from these).
@@ -109,7 +108,7 @@ impl fmt::Display for StdCellKind {
 /// A mix of standard cells, as fractions summing to 1, describing a
 /// module's composition. Used to derive a module's mean per-toggle charge
 /// and area without enumerating every gate.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellMix {
     entries: Vec<(StdCellKind, f64)>,
 }
@@ -118,11 +117,8 @@ impl CellMix {
     /// Builds a mix; fractions are normalized to sum to 1. Entries with
     /// non-positive weight are dropped.
     pub fn new(entries: &[(StdCellKind, f64)]) -> Self {
-        let mut kept: Vec<(StdCellKind, f64)> = entries
-            .iter()
-            .copied()
-            .filter(|(_, w)| *w > 0.0)
-            .collect();
+        let mut kept: Vec<(StdCellKind, f64)> =
+            entries.iter().copied().filter(|(_, w)| *w > 0.0).collect();
         let total: f64 = kept.iter().map(|(_, w)| w).sum();
         if total > 0.0 {
             for (_, w) in &mut kept {
@@ -200,9 +196,7 @@ mod tests {
     #[test]
     fn dff_bigger_than_inverter() {
         assert!(StdCellKind::Dff.area_um2() > StdCellKind::Inv.area_um2());
-        assert!(
-            StdCellKind::Dff.switching_charge_fc() > StdCellKind::Inv.switching_charge_fc()
-        );
+        assert!(StdCellKind::Dff.switching_charge_fc() > StdCellKind::Inv.switching_charge_fc());
     }
 
     #[test]
@@ -211,8 +205,7 @@ mod tests {
         let total: f64 = mix.entries().iter().map(|(_, w)| w).sum();
         assert!((total - 1.0).abs() < 1e-12);
         let expected =
-            (StdCellKind::Inv.switching_charge_fc() + StdCellKind::Dff.switching_charge_fc())
-                / 2.0;
+            (StdCellKind::Inv.switching_charge_fc() + StdCellKind::Dff.switching_charge_fc()) / 2.0;
         assert!((mix.mean_switching_charge_fc() - expected).abs() < 1e-12);
     }
 

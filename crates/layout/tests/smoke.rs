@@ -1,0 +1,10 @@
+//! Crate smoke test: the Fig 2 floorplan constructs with Table II counts.
+
+use psa_layout::floorplan::{Floorplan, ModuleKind};
+
+#[test]
+fn floorplan_smoke() {
+    let fp = Floorplan::date24_test_chip();
+    let t3 = fp.module(ModuleKind::TrojanT3).unwrap();
+    assert_eq!(t3.cell_count, 329);
+}

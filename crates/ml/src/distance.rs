@@ -19,10 +19,7 @@ pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
 
 /// Squared Euclidean distance (no square root; the k-means inner loop).
 pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| (x - y) * (x - y))
-        .sum()
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
 }
 
 /// Manhattan (L1) distance.

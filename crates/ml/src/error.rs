@@ -57,9 +57,14 @@ mod tests {
     fn messages_are_lowercase_no_period() {
         for e in [
             MlError::EmptyInput,
-            MlError::DimensionMismatch { expected: 3, got: 2 },
+            MlError::DimensionMismatch {
+                expected: 3,
+                got: 2,
+            },
             MlError::InvalidParameter { what: "k", got: 0 },
-            MlError::NoConvergence { what: "jacobi eigensolver" },
+            MlError::NoConvergence {
+                what: "jacobi eigensolver",
+            },
         ] {
             let m = e.to_string();
             assert!(m.chars().next().unwrap().is_lowercase());

@@ -6,8 +6,7 @@
 
 use crate::distance::sq_euclidean;
 use crate::error::MlError;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use psa_dsp::rng::SmallRng;
 
 /// K-means configuration (builder).
 ///
@@ -89,7 +88,7 @@ impl KMeans {
 
         let mut best: Option<KMeansFit> = None;
         for restart in 0..self.n_init {
-            let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(restart as u64));
+            let mut rng = SmallRng::seed_from_u64(self.seed.wrapping_add(restart as u64));
             let fit = self.run_once(data, d, &mut rng);
             match &best {
                 Some(b) if b.inertia <= fit.inertia => {}
@@ -99,11 +98,11 @@ impl KMeans {
         Ok(best.expect("at least one restart"))
     }
 
-    fn run_once(&self, data: &[Vec<f64>], d: usize, rng: &mut StdRng) -> KMeansFit {
+    fn run_once(&self, data: &[Vec<f64>], d: usize, rng: &mut SmallRng) -> KMeansFit {
         let n = data.len();
         // k-means++ seeding.
         let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(self.k);
-        centroids.push(data[rng.gen_range(0..n)].clone());
+        centroids.push(data[rng.gen_index(n)].clone());
         let mut dists: Vec<f64> = data
             .iter()
             .map(|p| sq_euclidean(p, &centroids[0]))
@@ -112,9 +111,9 @@ impl KMeans {
             let total: f64 = dists.iter().sum();
             let next = if total <= 0.0 {
                 // All points coincide with chosen centroids; pick any.
-                rng.gen_range(0..n)
+                rng.gen_index(n)
             } else {
-                let mut target = rng.gen::<f64>() * total;
+                let mut target = rng.gen_f64() * total;
                 let mut chosen = n - 1;
                 for (i, &w) in dists.iter().enumerate() {
                     if target < w {
@@ -171,10 +170,7 @@ impl KMeans {
                         .enumerate()
                         .max_by(|a, b| {
                             sq_euclidean(a.1, &centroids[assignments[a.0]])
-                                .total_cmp(&sq_euclidean(
-                                    b.1,
-                                    &centroids[assignments[b.0]],
-                                ))
+                                .total_cmp(&sq_euclidean(b.1, &centroids[assignments[b.0]]))
                         })
                         .map(|(i, _)| i)
                         .unwrap_or(0);
@@ -233,9 +229,7 @@ impl KMeansFit {
         self.centroids
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                sq_euclidean(sample, a.1).total_cmp(&sq_euclidean(sample, b.1))
-            })
+            .min_by(|a, b| sq_euclidean(sample, a.1).total_cmp(&sq_euclidean(sample, b.1)))
             .map(|(i, _)| i)
             .expect("k >= 1 by construction")
     }

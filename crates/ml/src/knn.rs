@@ -38,11 +38,7 @@ impl Knn {
     /// [`MlError::DimensionMismatch`] if label and sample counts differ or
     /// rows are ragged, and [`MlError::InvalidParameter`] when `k` is zero
     /// or exceeds the sample count.
-    pub fn fit(
-        samples: Vec<Vec<f64>>,
-        labels: Vec<usize>,
-        k: usize,
-    ) -> Result<Self, MlError> {
+    pub fn fit(samples: Vec<Vec<f64>>, labels: Vec<usize>, k: usize) -> Result<Self, MlError> {
         if samples.is_empty() {
             return Err(MlError::EmptyInput);
         }
@@ -115,8 +111,7 @@ impl Knn {
             .collect();
         dists.sort_by(|a, b| a.0.total_cmp(&b.0));
         let nearest = dists[0];
-        let mut votes: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
+        let mut votes: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
         for &(_, l) in dists.iter().take(self.k) {
             *votes.entry(l).or_insert(0) += 1;
         }

@@ -41,6 +41,8 @@ pub mod metrics;
 pub mod pca;
 pub mod scaler;
 
+pub use psa_dsp::rng;
+
 pub use error::MlError;
 pub use kmeans::KMeans;
 pub use pca::Pca;

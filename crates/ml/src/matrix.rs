@@ -66,7 +66,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Number of rows.
@@ -197,8 +201,7 @@ impl Matrix {
             }
             if off < tol {
                 // Extract and sort.
-                let mut pairs: Vec<(f64, usize)> =
-                    (0..n).map(|i| (a.get(i, i), i)).collect();
+                let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (a.get(i, i), i)).collect();
                 pairs.sort_by(|x, y| y.0.total_cmp(&x.0));
                 let eigenvalues: Vec<f64> = pairs.iter().map(|p| p.0).collect();
                 let mut vectors = Matrix::zeros(n, n);
@@ -272,13 +275,15 @@ mod tests {
             Matrix::from_rows(vec![vec![1.0], vec![1.0, 2.0]]),
             Err(MlError::DimensionMismatch { .. })
         ));
-        assert!(matches!(Matrix::from_rows(vec![]), Err(MlError::EmptyInput)));
+        assert!(matches!(
+            Matrix::from_rows(vec![]),
+            Err(MlError::EmptyInput)
+        ));
     }
 
     #[test]
     fn transpose_involution() {
-        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]])
-            .unwrap();
+        let m = Matrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
         assert_eq!(m.transpose().transpose(), m);
         assert_eq!(m.transpose().get(1, 2), 6.0);
     }
@@ -347,8 +352,8 @@ mod tests {
         .unwrap();
         let (vals, vecs) = m.symmetric_eigen().unwrap();
         let mut lambda = Matrix::zeros(3, 3);
-        for i in 0..3 {
-            lambda.set(i, i, vals[i]);
+        for (i, &v) in vals.iter().enumerate() {
+            lambda.set(i, i, v);
         }
         let recon = vecs
             .matmul(&lambda)

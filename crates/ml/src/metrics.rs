@@ -58,11 +58,7 @@ pub fn silhouette_score(data: &[Vec<f64>], assignments: &[usize]) -> f64 {
 /// Confusion matrix for `n_classes` classes: `matrix[truth][predicted]`.
 ///
 /// Pairs with out-of-range labels are ignored.
-pub fn confusion_matrix(
-    truth: &[usize],
-    predicted: &[usize],
-    n_classes: usize,
-) -> Vec<Vec<usize>> {
+pub fn confusion_matrix(truth: &[usize], predicted: &[usize], n_classes: usize) -> Vec<Vec<usize>> {
     let mut m = vec![vec![0usize; n_classes]; n_classes];
     for (&t, &p) in truth.iter().zip(predicted) {
         if t < n_classes && p < n_classes {
@@ -78,11 +74,7 @@ pub fn accuracy(truth: &[usize], predicted: &[usize]) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    let correct = truth
-        .iter()
-        .zip(predicted)
-        .filter(|(t, p)| t == p)
-        .count();
+    let correct = truth.iter().zip(predicted).filter(|(t, p)| t == p).count();
     correct as f64 / n as f64
 }
 

@@ -157,8 +157,8 @@ impl Pca {
         let mut out = Vec::with_capacity(self.n_components());
         for c in 0..self.n_components() {
             let mut acc = 0.0;
-            for j in 0..d {
-                acc += self.components.get(c, j) * (sample[j] - self.mean[j]);
+            for (j, (&x, &mu)) in sample.iter().zip(&self.mean).enumerate() {
+                acc += self.components.get(c, j) * (x - mu);
             }
             out.push(acc);
         }
@@ -215,10 +215,8 @@ mod tests {
         let proj = pca.transform(&data).unwrap();
         // Even indices (cluster A) and odd indices (cluster B) separate on
         // PC1.
-        let a_mean: f64 =
-            proj.iter().step_by(2).map(|p| p[0]).sum::<f64>() / 10.0;
-        let b_mean: f64 =
-            proj.iter().skip(1).step_by(2).map(|p| p[0]).sum::<f64>() / 10.0;
+        let a_mean: f64 = proj.iter().step_by(2).map(|p| p[0]).sum::<f64>() / 10.0;
+        let b_mean: f64 = proj.iter().skip(1).step_by(2).map(|p| p[0]).sum::<f64>() / 10.0;
         assert!((a_mean - b_mean).abs() > 5.0);
     }
 

@@ -1,41 +1,52 @@
 //! Property-based tests for the ML substrate.
+//!
+//! The container has no network access, so instead of the `proptest`
+//! crate these properties are checked over a deterministic seeded sweep:
+//! every case derives its inputs from `SmallRng`, which keeps failures
+//! reproducible (the failing seed is in the assertion message).
 
-use proptest::prelude::*;
 use psa_ml::distance;
 use psa_ml::kmeans::KMeans;
 use psa_ml::matrix::Matrix;
 use psa_ml::pca::Pca;
+use psa_ml::rng::SmallRng;
 use psa_ml::scaler::StandardScaler;
 
-fn dataset(
-    rows: std::ops::Range<usize>,
-    dim: usize,
-) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(prop::collection::vec(-100.0..100.0f64, dim), rows)
+const CASES: u64 = 32;
+
+fn vec_in(rng: &mut SmallRng, lo: f64, hi: f64, len: usize) -> Vec<f64> {
+    (0..len).map(|_| lo + (hi - lo) * rng.gen_f64()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn dataset(rng: &mut SmallRng, min_rows: usize, max_rows: usize, dim: usize) -> Vec<Vec<f64>> {
+    let rows = min_rows + rng.gen_index(max_rows - min_rows);
+    (0..rows).map(|_| vec_in(rng, -100.0, 100.0, dim)).collect()
+}
 
-    /// Euclidean distance satisfies the metric axioms on random triples.
-    #[test]
-    fn euclidean_is_a_metric(
-        a in prop::collection::vec(-1e3..1e3f64, 4),
-        b in prop::collection::vec(-1e3..1e3f64, 4),
-        c in prop::collection::vec(-1e3..1e3f64, 4),
-    ) {
+/// Euclidean distance satisfies the metric axioms on random triples.
+#[test]
+fn euclidean_is_a_metric() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let a = vec_in(&mut rng, -1e3, 1e3, 4);
+        let b = vec_in(&mut rng, -1e3, 1e3, 4);
+        let c = vec_in(&mut rng, -1e3, 1e3, 4);
         let dab = distance::euclidean(&a, &b);
         let dba = distance::euclidean(&b, &a);
-        prop_assert!((dab - dba).abs() < 1e-9);
-        prop_assert!(distance::euclidean(&a, &a) == 0.0);
+        assert!((dab - dba).abs() < 1e-9, "seed {case}");
+        assert!(distance::euclidean(&a, &a) == 0.0, "seed {case}");
         let dac = distance::euclidean(&a, &c);
         let dbc = distance::euclidean(&b, &c);
-        prop_assert!(dac <= dab + dbc + 1e-9);
+        assert!(dac <= dab + dbc + 1e-9, "seed {case}");
     }
+}
 
-    /// Jacobi eigendecomposition reconstructs random symmetric matrices.
-    #[test]
-    fn eigen_reconstruction(vals in prop::collection::vec(-50.0..50.0f64, 6)) {
+/// Jacobi eigendecomposition reconstructs random symmetric matrices.
+#[test]
+fn eigen_reconstruction() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let vals = vec_in(&mut rng, -50.0, 50.0, 6);
         // Build a symmetric matrix from the random values.
         let n = 3;
         let mut m = Matrix::zeros(n, n);
@@ -49,63 +60,89 @@ proptest! {
         }
         let (ev, vecs) = m.symmetric_eigen().unwrap();
         let mut lambda = Matrix::zeros(n, n);
-        for i in 0..n {
-            lambda.set(i, i, ev[i]);
+        for (i, &e) in ev.iter().enumerate() {
+            lambda.set(i, i, e);
         }
-        let recon = vecs.matmul(&lambda).unwrap().matmul(&vecs.transpose()).unwrap();
+        let recon = vecs
+            .matmul(&lambda)
+            .unwrap()
+            .matmul(&vecs.transpose())
+            .unwrap();
         for i in 0..n {
             for j in 0..n {
-                prop_assert!((recon.get(i, j) - m.get(i, j)).abs() < 1e-7);
+                assert!(
+                    (recon.get(i, j) - m.get(i, j)).abs() < 1e-7,
+                    "seed {case} ({i},{j})"
+                );
             }
         }
         // Eigenvalues sorted descending.
         for w in ev.windows(2) {
-            prop_assert!(w[0] >= w[1] - 1e-12);
+            assert!(w[0] >= w[1] - 1e-12, "seed {case}");
         }
     }
+}
 
-    /// PCA explained variance ratios are in [0,1] and sum to <= 1.
-    #[test]
-    fn pca_variance_ratios_bounded(data in dataset(4..20, 3)) {
+/// PCA explained variance ratios are in [0,1] and sum to <= 1.
+#[test]
+fn pca_variance_ratios_bounded() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let data = dataset(&mut rng, 4, 20, 3);
         let pca = Pca::fit(&data, 2).unwrap();
         let ev = pca.explained_variance_ratio();
         let sum: f64 = ev.iter().sum();
-        prop_assert!(ev.iter().all(|&v| (-1e-12..=1.0 + 1e-9).contains(&v)));
-        prop_assert!(sum <= 1.0 + 1e-9);
+        assert!(
+            ev.iter().all(|&v| (-1e-12..=1.0 + 1e-9).contains(&v)),
+            "seed {case}"
+        );
+        assert!(sum <= 1.0 + 1e-9, "seed {case}");
     }
+}
 
-    /// K-means inertia never increases when k grows.
-    #[test]
-    fn kmeans_inertia_monotone(data in dataset(6..24, 2)) {
+/// K-means inertia never increases when k grows.
+#[test]
+fn kmeans_inertia_monotone() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let data = dataset(&mut rng, 6, 24, 2);
         let i1 = KMeans::new(1).with_seed(5).fit(&data).unwrap().inertia();
         let i2 = KMeans::new(2).with_seed(5).fit(&data).unwrap().inertia();
         let i3 = KMeans::new(3).with_seed(5).fit(&data).unwrap().inertia();
         // Allow tiny numeric slack; k-means++ with restarts is near-monotone.
-        prop_assert!(i2 <= i1 * 1.001 + 1e-9);
-        prop_assert!(i3 <= i2 * 1.05 + 1e-6);
+        assert!(i2 <= i1 * 1.001 + 1e-9, "seed {case}");
+        assert!(i3 <= i2 * 1.05 + 1e-6, "seed {case}");
     }
+}
 
-    /// Every k-means assignment indexes a valid centroid, and predict on a
-    /// training point returns its assignment.
-    #[test]
-    fn kmeans_assignments_consistent(data in dataset(5..20, 2)) {
+/// Every k-means assignment indexes a valid centroid, and predict on a
+/// training point returns its assignment.
+#[test]
+fn kmeans_assignments_consistent() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let data = dataset(&mut rng, 5, 20, 2);
         let fit = KMeans::new(2).with_seed(11).fit(&data).unwrap();
         for (i, row) in data.iter().enumerate() {
             let a = fit.assignments()[i];
-            prop_assert!(a < 2);
-            prop_assert_eq!(fit.predict(row), a);
+            assert!(a < 2, "seed {case}");
+            assert_eq!(fit.predict(row), a, "seed {case} row {i}");
         }
     }
+}
 
-    /// Scaler transform/inverse-transform round-trips.
-    #[test]
-    fn scaler_roundtrip(data in dataset(2..20, 3)) {
+/// Scaler transform/inverse-transform round-trips.
+#[test]
+fn scaler_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(case);
+        let data = dataset(&mut rng, 2, 20, 3);
         let scaler = StandardScaler::fit(&data).unwrap();
         for row in &data {
             let t = scaler.transform_one(row).unwrap();
             let back = scaler.inverse_transform_one(&t).unwrap();
             for (a, b) in back.iter().zip(row) {
-                prop_assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()));
+                assert!((a - b).abs() < 1e-8 * (1.0 + b.abs()), "seed {case}");
             }
         }
     }

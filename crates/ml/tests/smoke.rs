@@ -1,0 +1,18 @@
+//! Crate smoke test: the k-means entry point separates obvious blobs.
+
+use psa_ml::kmeans::KMeans;
+
+#[test]
+fn kmeans_smoke() {
+    let data = vec![
+        vec![0.0, 0.1],
+        vec![0.1, -0.1],
+        vec![-0.1, 0.0],
+        vec![5.0, 5.1],
+        vec![5.1, 4.9],
+        vec![4.9, 5.0],
+    ];
+    let fit = KMeans::new(2).with_seed(7).fit(&data).unwrap();
+    assert_eq!(fit.assignments()[0], fit.assignments()[1]);
+    assert_ne!(fit.assignments()[0], fit.assignments()[3]);
+}

@@ -12,7 +12,10 @@ fn main() {
         ks.sort_by(|a, b| b.1.total_cmp(&a.1));
         println!(
             "{src:?}: top sensors {:?}",
-            ks.iter().take(4).map(|(s, k)| (*s, format!("{k:.2e}"))).collect::<Vec<_>>()
+            ks.iter()
+                .take(4)
+                .map(|(s, k)| (*s, format!("{k:.2e}")))
+                .collect::<Vec<_>>()
         );
     }
 }

@@ -26,7 +26,8 @@ fn main() {
             };
             println!(
                 "sensor {sensor} {kind}: excess 48 MHz {:+.1} dB, 84 MHz {:+.1} dB",
-                excess(b48), excess(b84)
+                excess(b48),
+                excess(b84)
             );
         }
     }

@@ -9,11 +9,19 @@ fn main() {
     let analyzer = CrossDomainAnalyzer::new(&chip);
     let baseline = analyzer.learn_baseline(42);
     // No-trojan control.
-    let v = analyzer.analyze(&Scenario::baseline().with_seed(77), &baseline).unwrap();
-    println!("control: detected={} top-energy={:.1}", v.detected, v.ranking[0].energy_db);
+    let v = analyzer
+        .analyze(&Scenario::baseline().with_seed(77), &baseline)
+        .unwrap();
+    println!(
+        "control: detected={} top-energy={:.1}",
+        v.detected, v.ranking[0].energy_db
+    );
     for kind in TrojanKind::ALL {
         let v = analyzer
-            .analyze(&Scenario::trojan_active(kind).with_seed(101 + kind.index() as u64), &baseline)
+            .analyze(
+                &Scenario::trojan_active(kind).with_seed(101 + kind.index() as u64),
+                &baseline,
+            )
             .unwrap();
         println!(
             "{kind}: detected={} localized={:?} freq={:?} identified={:?} dist={:?} top3={:?}",
@@ -21,8 +29,13 @@ fn main() {
             v.localized_sensor,
             v.prominent_freq_hz.map(|f| (f / 1e6 * 10.0).round() / 10.0),
             v.identified,
-            v.identification_distance.map(|d| (d * 100.0).round() / 100.0),
-            v.ranking.iter().take(3).map(|r| (r.sensor, r.energy_db.round())).collect::<Vec<_>>()
+            v.identification_distance
+                .map(|d| (d * 100.0).round() / 100.0),
+            v.ranking
+                .iter()
+                .take(3)
+                .map(|r| (r.sensor, r.energy_db.round()))
+                .collect::<Vec<_>>()
         );
     }
 }

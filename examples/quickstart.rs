@@ -26,7 +26,10 @@ fn main() {
 
     println!("activating T3 (CDMA key-leak Trojan, 1.14 % of cells) and analyzing...");
     let verdict = analyzer
-        .analyze(&Scenario::trojan_active(TrojanKind::T3).with_seed(7), &baseline)
+        .analyze(
+            &Scenario::trojan_active(TrojanKind::T3).with_seed(7),
+            &baseline,
+        )
         .expect("analysis succeeds on the built-in chip");
 
     println!();

@@ -32,8 +32,7 @@ fn main() {
     println!("------------------------------------------------------------------");
     for kind in TrojanKind::ALL {
         let scenario = Scenario::trojan_active(kind).with_seed(991 + kind.index() as u64);
-        let result = mttd_trial(&chip, &scenario, &baseline, 10, &timing, 64)
-            .expect("trial runs");
+        let result = mttd_trial(&chip, &scenario, &baseline, 10, &timing, 64).expect("trial runs");
         println!(
             "{:<7} {:<9} {:>7.2} ms  {:>6}",
             kind.to_string(),

@@ -8,7 +8,7 @@ use psa_gatesim::trojan::TrojanKind;
 fn main() {
     let chip = TestChip::date24();
     let acq = Acquisition::new(&chip);
-    let keys: [( &str, [u8;16], u64); 2] = [
+    let keys: [(&str, [u8; 16], u64); 2] = [
         ("ref0", [0x81; 16], 0xBEEF),
         ("test", Scenario::DEFAULT_KEY, 101),
     ];

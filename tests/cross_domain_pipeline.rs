@@ -33,7 +33,10 @@ fn control_run_stays_quiet() {
 fn t4_detected_localized_identified() {
     let analyzer = CrossDomainAnalyzer::new(chip());
     let verdict = analyzer
-        .analyze(&Scenario::trojan_active(TrojanKind::T4).with_seed(104), baseline())
+        .analyze(
+            &Scenario::trojan_active(TrojanKind::T4).with_seed(104),
+            baseline(),
+        )
         .expect("analysis runs");
     assert!(verdict.detected);
     assert_eq!(verdict.localized_sensor, Some(10), "paper: sensor 10");
@@ -50,7 +53,10 @@ fn small_trojan_t3_detected_and_localized() {
     // T3 is 1.14 % of the chip — the Trojan the baselines miss.
     let analyzer = CrossDomainAnalyzer::new(chip());
     let verdict = analyzer
-        .analyze(&Scenario::trojan_active(TrojanKind::T3).with_seed(103), baseline())
+        .analyze(
+            &Scenario::trojan_active(TrojanKind::T3).with_seed(103),
+            baseline(),
+        )
         .expect("analysis runs");
     assert!(verdict.detected, "PSA must catch the small Trojan");
     assert_eq!(verdict.localized_sensor, Some(10));
@@ -74,7 +80,10 @@ fn t1_and_t2_verdicts() {
 fn localized_region_contains_the_trojan() {
     let analyzer = CrossDomainAnalyzer::new(chip());
     let verdict = analyzer
-        .analyze(&Scenario::trojan_active(TrojanKind::T4).with_seed(200), baseline())
+        .analyze(
+            &Scenario::trojan_active(TrojanKind::T4).with_seed(200),
+            baseline(),
+        )
         .expect("analysis runs");
     let region = verdict.localized_region.expect("region reported");
     let t4 = chip()
@@ -94,9 +103,10 @@ fn concurrent_trojans_still_detected_and_localized() {
     // active together. Both sit under sensor 10; the monitor must still
     // detect and localize (identification may report either culprit).
     let analyzer = CrossDomainAnalyzer::new(chip());
-    let scenario = Scenario::trojans_active(&[TrojanKind::T1, TrojanKind::T4])
-        .with_seed(400);
-    let verdict = analyzer.analyze(&scenario, baseline()).expect("analysis runs");
+    let scenario = Scenario::trojans_active(&[TrojanKind::T1, TrojanKind::T4]).with_seed(400);
+    let verdict = analyzer
+        .analyze(&scenario, baseline())
+        .expect("analysis runs");
     assert!(verdict.detected);
     assert_eq!(verdict.localized_sensor, Some(10));
     let f = verdict.prominent_freq_hz.expect("component found");
@@ -110,7 +120,10 @@ fn ranking_contrast_sensor10_vs_sensor0() {
     // the empty corner's by a wide margin.
     let analyzer = CrossDomainAnalyzer::new(chip());
     let verdict = analyzer
-        .analyze(&Scenario::trojan_active(TrojanKind::T1).with_seed(300), baseline())
+        .analyze(
+            &Scenario::trojan_active(TrojanKind::T1).with_seed(300),
+            baseline(),
+        )
         .expect("analysis runs");
     let amp_of = |sensor: usize| {
         verdict

@@ -19,7 +19,10 @@ fn snr_values_land_in_paper_regime() {
     // Paper: PSA 41.0, single coil 30.5, ICR ~34, LF1 14.3 (dB).
     let rows = snr::snr_comparison(chip(), 3).expect("snr comparison");
     let get = |s: SensorSelect| {
-        rows.iter().find(|m| m.sensor == s).map(|m| m.snr_db).unwrap()
+        rows.iter()
+            .find(|m| m.sensor == s)
+            .map(|m| m.snr_db)
+            .unwrap()
     };
     let psa = get(SensorSelect::Psa(10));
     let single = get(SensorSelect::SingleCoil);
@@ -40,8 +43,7 @@ fn mttd_under_10ms_with_under_10_traces() {
     let timing = MonitorTiming::default();
     for kind in [TrojanKind::T4, TrojanKind::T3] {
         let scenario = Scenario::trojan_active(kind).with_seed(900);
-        let r = mttd_trial(chip(), &scenario, &baseline, 10, &timing, 64)
-            .expect("trial runs");
+        let r = mttd_trial(chip(), &scenario, &baseline, 10, &timing, 64).expect("trial runs");
         assert!(r.detected, "{kind} undetected");
         assert!(
             r.time_to_detect_s < 10.0e-3,
