@@ -71,15 +71,20 @@ impl Adc {
 
     /// Quantizes a sample stream (clamps to ±FS/2 first).
     pub fn quantize(&self, signal: &[f64]) -> Vec<f64> {
+        let mut out = signal.to_vec();
+        self.quantize_in_place(&mut out);
+        out
+    }
+
+    /// [`quantize`](Self::quantize) mutating the signal in place, so hot
+    /// acquisition loops can reuse one record buffer end to end.
+    pub fn quantize_in_place(&self, signal: &mut [f64]) {
         let half = self.full_scale_v / 2.0;
         let lsb = self.lsb();
-        signal
-            .iter()
-            .map(|&x| {
-                let clamped = x.clamp(-half, half);
-                (clamped / lsb).round() * lsb
-            })
-            .collect()
+        for x in signal.iter_mut() {
+            let clamped = x.clamp(-half, half);
+            *x = (clamped / lsb).round() * lsb;
+        }
     }
 
     /// Quantizes to integer codes (two's-complement style range).

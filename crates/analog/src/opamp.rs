@@ -63,17 +63,22 @@ impl OpAmp {
     /// Amplifies a sample stream at rate `fs_hz` through the single-pole
     /// response with saturation.
     pub fn amplify(&self, signal: &[f64], fs_hz: f64) -> Vec<f64> {
+        let mut out = signal.to_vec();
+        self.amplify_in_place(&mut out, fs_hz);
+        out
+    }
+
+    /// [`amplify`](Self::amplify) mutating the signal in place, so hot
+    /// acquisition loops can reuse one record buffer end to end.
+    pub fn amplify_in_place(&self, signal: &mut [f64], fs_hz: f64) {
         let fc = self.corner_hz();
         let a = (-2.0 * PI * fc / fs_hz).exp();
         let b = (1.0 - a) * self.dc_gain;
         let mut y = 0.0;
-        signal
-            .iter()
-            .map(|&x| {
-                y = a * y + b * x;
-                y.clamp(-self.vout_max, self.vout_max)
-            })
-            .collect()
+        for x in signal.iter_mut() {
+            y = a * y + b * *x;
+            *x = y.clamp(-self.vout_max, self.vout_max);
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 //!   frequency component (Fig 5).
 
 use crate::error::AnalogError;
+use psa_dsp::batch::SpectrumScratch;
 use psa_dsp::spectrum::{self, DB_FLOOR};
 use psa_dsp::window::Window;
 use psa_dsp::zero_span::ZeroSpan;
@@ -45,6 +46,31 @@ impl SpectrumAnalyzer {
     /// Returns [`AnalogError::EmptyInput`] for an empty record or
     /// [`AnalogError::InvalidParameter`] when the span exceeds Nyquist.
     pub fn trace_db(&self, record: &[f64], fs_hz: f64) -> Result<Vec<f64>, AnalogError> {
+        let mut scratch = self.scratch();
+        self.trace_db_with(&mut scratch, record, fs_hz)
+    }
+
+    /// A reusable spectrum scratch matched to this analyzer's window,
+    /// for the `_with` trace methods.
+    pub fn scratch(&self) -> SpectrumScratch {
+        SpectrumScratch::new(self.window)
+    }
+
+    /// [`trace_db`](Self::trace_db) using a caller-owned
+    /// [`SpectrumScratch`] so repeated traces reuse the window
+    /// coefficients, FFT twiddles, and work buffers. Bit-identical to
+    /// [`trace_db`](Self::trace_db).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`trace_db`](Self::trace_db); additionally rejects a
+    /// scratch built for a different window.
+    pub fn trace_db_with(
+        &self,
+        scratch: &mut SpectrumScratch,
+        record: &[f64],
+        fs_hz: f64,
+    ) -> Result<Vec<f64>, AnalogError> {
         if record.is_empty() {
             return Err(AnalogError::EmptyInput);
         }
@@ -53,7 +79,12 @@ impl SpectrumAnalyzer {
                 what: "span exceeds nyquist",
             });
         }
-        let amp = spectrum::try_amplitude_spectrum(record, self.window)?;
+        if scratch.window() != self.window {
+            return Err(AnalogError::InvalidParameter {
+                what: "scratch window does not match analyzer window",
+            });
+        }
+        let amp = scratch.amplitude_spectrum(record)?;
         let n_fft = record.len();
         let bins_in_span = ((self.span_hz * n_fft as f64 / fs_hz) as usize + 1).min(amp.len());
         let in_span = &amp[..bins_in_span];
@@ -74,18 +105,50 @@ impl SpectrumAnalyzer {
         records: &[Vec<f64>],
         fs_hz: f64,
     ) -> Result<Vec<f64>, AnalogError> {
+        let mut scratch = self.scratch();
+        self.averaged_trace_db_with(&mut scratch, records, fs_hz)
+    }
+
+    /// [`averaged_trace_db`](Self::averaged_trace_db) using a
+    /// caller-owned [`SpectrumScratch`]; the per-record window/FFT work
+    /// reuses the scratch buffers. Bit-identical to
+    /// [`averaged_trace_db`](Self::averaged_trace_db).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`averaged_trace_db`](Self::averaged_trace_db).
+    pub fn averaged_trace_db_with(
+        &self,
+        scratch: &mut SpectrumScratch,
+        records: &[Vec<f64>],
+        fs_hz: f64,
+    ) -> Result<Vec<f64>, AnalogError> {
         if records.is_empty() {
             return Err(AnalogError::EmptyInput);
         }
-        let linear: Result<Vec<Vec<f64>>, AnalogError> = records
-            .iter()
-            .map(|r| {
-                self.trace_db(r, fs_hz)
-                    .map(|db| db.into_iter().map(spectrum::db_to_amplitude).collect())
-            })
-            .collect();
-        let avg = spectrum::average_traces(&linear?)?;
-        Ok(avg.into_iter().map(spectrum::amplitude_db).collect())
+        // Same arithmetic as averaging the per-record linear traces with
+        // `spectrum::average_traces`: sum in record order, divide once.
+        let mut acc: Vec<f64> = Vec::new();
+        for r in records {
+            let db = self.trace_db_with(scratch, r, fs_hz)?;
+            if acc.is_empty() {
+                acc = db.iter().map(|&d| spectrum::db_to_amplitude(d)).collect();
+            } else {
+                if db.len() != acc.len() {
+                    return Err(AnalogError::InvalidParameter {
+                        what: "trace length (all traces must match)",
+                    });
+                }
+                for (a, &d) in acc.iter_mut().zip(&db) {
+                    *a += spectrum::db_to_amplitude(d);
+                }
+            }
+        }
+        let k = records.len() as f64;
+        Ok(acc
+            .into_iter()
+            .map(|a| spectrum::amplitude_db(a / k))
+            .collect())
     }
 
     /// Frequency (Hz) of trace point `i`.
@@ -263,5 +326,29 @@ mod tests {
         assert!(sa.trace_db(&[], FS).is_err());
         assert!(sa.trace_db(&[0.0; 64], 100.0e6).is_err()); // span > nyquist
         assert!(sa.averaged_trace_db(&[], FS).is_err());
+        let mut wrong = SpectrumScratch::new(Window::Hann);
+        assert!(sa.trace_db_with(&mut wrong, &[0.0; 64], FS).is_err());
+    }
+
+    #[test]
+    fn scratch_paths_match_oneshot_bitwise() {
+        let sa = SpectrumAnalyzer::date24();
+        let records: Vec<Vec<f64>> = (0..3)
+            .map(|k| tone(4096, 48.0e6, 0.5 + 0.1 * k as f64))
+            .collect();
+        let mut scratch = sa.scratch();
+        // Warm the scratch on unrelated data first: results must not
+        // depend on scratch history.
+        let _ = sa.trace_db_with(&mut scratch, &records[1], FS).unwrap();
+        for r in &records {
+            let a = sa.trace_db(r, FS).unwrap();
+            let b = sa.trace_db_with(&mut scratch, r, FS).unwrap();
+            assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+        }
+        let a = sa.averaged_trace_db(&records, FS).unwrap();
+        let b = sa
+            .averaged_trace_db_with(&mut scratch, &records, FS)
+            .unwrap();
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
     }
 }

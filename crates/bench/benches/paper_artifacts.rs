@@ -132,6 +132,51 @@ fn bench_substrates(h: &Harness) {
     });
 }
 
+/// The batch (plan-once) spectrum path vs the one-shot path above, and
+/// the reusable-context acquisition the campaign workers run on. These
+/// guard the hot-path allocation work: the scratch variants must not
+/// regress against their one-shot counterparts.
+fn bench_batch_paths(h: &Harness) {
+    use psa_dsp::batch::{FftPlan, SpectrumScratch};
+
+    let x: Vec<f64> = (0..65_536).map(|i| (i as f64 * 0.11).sin()).collect();
+    let mut scratch = SpectrumScratch::new(Window::Hann);
+    scratch.amplitude_spectrum(&x).unwrap(); // warm the plan
+    h.bench("amplitude_spectrum_scratch", || {
+        std::hint::black_box(scratch.amplitude_spectrum(&x).unwrap().len());
+    });
+
+    let plan = FftPlan::new(65_536).unwrap();
+    let mut buf: Vec<Complex> = (0..65_536)
+        .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
+        .collect();
+    h.bench("fft_65536_planned", || {
+        plan.forward(&mut buf).unwrap();
+        std::hint::black_box(&buf);
+    });
+
+    let chip = chip();
+    let acq = Acquisition::new(chip);
+    let mut ctx = acq.context();
+    let scenario = Scenario::trojan_active(psa_gatesim::trojan::TrojanKind::T4);
+    let mut traces = psa_core::acquisition::TraceSet::default();
+    h.bench("table1_decision_ctx_reuse", || {
+        ctx.acquire_into(&scenario, SensorSelect::Psa(10), 5, &mut traces)
+            .unwrap();
+        std::hint::black_box(ctx.fullres_spectrum_db(&traces).unwrap());
+    });
+}
+
+/// Engine dispatch overhead: a fan-out of trivially cheap jobs.
+fn bench_engine_dispatch(h: &Harness) {
+    use psa_runtime::Engine;
+    let jobs: Vec<u64> = (0..256).collect();
+    let engine = Engine::from_env();
+    h.bench("engine_dispatch_256_jobs", || {
+        std::hint::black_box(engine.map(&jobs, |i, &x| x.wrapping_mul(i as u64 + 1)));
+    });
+}
+
 fn main() {
     let h = Harness::from_env();
     bench_table2(&h);
@@ -143,4 +188,6 @@ fn main() {
     bench_vt_sweep(&h);
     bench_mttd(&h);
     bench_substrates(&h);
+    bench_batch_paths(&h);
+    bench_engine_dispatch(&h);
 }

@@ -74,22 +74,23 @@ fn rbw_ablation() {
 
     println!("== Ablation 2: detection RBW vs T3 sideband visibility ==");
     let chip = TestChip::date24();
-    let acq = psa_core::acquisition::Acquisition::new(&chip);
-    // One long acquisition, re-analyzed at different window lengths.
-    let base = acq
-        .acquire(
-            &Scenario::baseline().with_seed(61),
+    // One long acquisition per condition (two engine jobs), re-analyzed
+    // at different window lengths.
+    let engine =
+        psa_runtime::Engine::from_args_and_env(&std::env::args().skip(1).collect::<Vec<String>>());
+    let campaign = psa_runtime::Campaign::new(&chip, engine);
+    let jobs = [
+        psa_runtime::AcquireJob::new(Scenario::baseline(), SensorSelect::Psa(10), 5).with_seed(61),
+        psa_runtime::AcquireJob::new(
+            Scenario::trojan_active(TrojanKind::T3),
             SensorSelect::Psa(10),
             5,
         )
-        .expect("baseline traces");
-    let act = acq
-        .acquire(
-            &Scenario::trojan_active(TrojanKind::T3).with_seed(62),
-            SensorSelect::Psa(10),
-            5,
-        )
-        .expect("active traces");
+        .with_seed(62),
+    ];
+    let mut acquired = campaign.acquire(&jobs).expect("ablation traces");
+    let act = acquired.pop().expect("two jobs");
+    let base = acquired.pop().expect("two jobs");
 
     let mut t = Table::new(vec![
         "window (samples)".into(),

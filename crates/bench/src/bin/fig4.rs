@@ -1,6 +1,12 @@
 //! Regenerates Fig 4 — per-sensor spectra with each Trojan active.
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = psa_runtime::Engine::from_args_and_env(&args);
     println!("== Fig 4: emergent sideband components, sensors 10 and 0 ==");
     let chip = psa_bench::experiments::build_chip();
-    print!("{}", psa_bench::experiments::fig4_table(&chip).render());
+    print!(
+        "{}",
+        psa_bench::experiments::fig4_table(&chip, &engine).render()
+    );
 }

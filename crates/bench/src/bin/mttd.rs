@@ -1,6 +1,20 @@
 //! Regenerates Sec. VI-D — mean time to detect.
+
+use std::time::Instant;
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = psa_runtime::Engine::from_args_and_env(&args);
     println!("== Sec. VI-D: run-time MTTD ==");
     let chip = psa_bench::experiments::build_chip();
-    print!("{}", psa_bench::experiments::mttd_table(&chip).render());
+    let t0 = Instant::now();
+    print!(
+        "{}",
+        psa_bench::experiments::mttd_table(&chip, &engine).render()
+    );
+    eprintln!(
+        "[psa-runtime] mttd sweep: {} worker(s), wall {:.2} s",
+        engine.workers(),
+        t0.elapsed().as_secs_f64()
+    );
 }

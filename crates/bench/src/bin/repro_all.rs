@@ -1,21 +1,98 @@
 //! Runs every table/figure regeneration in sequence (the EXPERIMENTS.md
-//! source of truth).
+//! source of truth), on the parallel campaign engine.
+//!
+//! ```text
+//! repro_all [--jobs N] [--bench-json [PATH]]
+//! ```
+//!
+//! `--bench-json` writes per-artifact wall times as JSON (default path
+//! `BENCH_repro_all.json`) — the seed for `BENCH_*.json` timing
+//! trajectory tracking in CI. Timing/engine chatter goes to stderr so
+//! stdout stays byte-comparable across worker counts.
+
+use psa_bench::experiments;
+use psa_bench::harness::ArtifactTimer;
+use std::path::PathBuf;
+
+fn bench_json_path(args: &[String]) -> Option<PathBuf> {
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if arg == "--bench-json" {
+            let explicit = iter
+                .peek()
+                .filter(|next| !next.starts_with('-'))
+                .map(|next| PathBuf::from(next.as_str()));
+            return Some(explicit.unwrap_or_else(|| PathBuf::from("BENCH_repro_all.json")));
+        }
+        if let Some(path) = arg.strip_prefix("--bench-json=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    None
+}
+
 fn main() {
-    let chip = psa_bench::experiments::build_chip();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = psa_runtime::Engine::from_args_and_env(&args);
+    let json_path = bench_json_path(&args);
+    let mut timer = ArtifactTimer::new();
+
+    let chip = timer.time("build_chip", experiments::build_chip);
     println!("== Table II: Trojan gates count and percentage ==");
-    print!("{}", psa_bench::experiments::table2().render());
+    print!("{}", timer.time("table2", experiments::table2).render());
     println!("\n== SNR comparison (Sec. VI-B, Eq. 1) ==");
-    print!("{}", psa_bench::experiments::snr_table(&chip).render());
+    print!(
+        "{}",
+        timer
+            .time("snr_compare", || experiments::snr_table(&chip, &engine))
+            .render()
+    );
     println!("\n== Fig 3: spectrum magnitude, PSA vs external EM probe ==");
-    print!("{}", psa_bench::experiments::fig3_report(&chip));
+    print!(
+        "{}",
+        timer.time("fig3", || experiments::fig3_report(&chip, &engine))
+    );
     println!("\n== Fig 4: emergent sideband components, sensors 10 and 0 ==");
-    print!("{}", psa_bench::experiments::fig4_table(&chip).render());
+    print!(
+        "{}",
+        timer
+            .time("fig4", || experiments::fig4_table(&chip, &engine))
+            .render()
+    );
     println!("\n== Fig 5: zero-span time-domain identification at 48 MHz ==");
-    print!("{}", psa_bench::experiments::fig5_report(&chip));
+    print!(
+        "{}",
+        timer.time("fig5", || experiments::fig5_report(&chip, &engine))
+    );
     println!("\n== Sec. VI-C: sensor impedance across V/T corners ==");
-    print!("{}", psa_bench::experiments::vt_table().render());
+    print!("{}", timer.time("vt_sweep", experiments::vt_table).render());
     println!("\n== Sec. VI-D: run-time MTTD ==");
-    print!("{}", psa_bench::experiments::mttd_table(&chip).render());
+    print!(
+        "{}",
+        timer
+            .time("mttd", || experiments::mttd_table(&chip, &engine))
+            .render()
+    );
     println!("\n== Table I: comparison of EM side-channel methods ==");
-    print!("{}", psa_bench::experiments::table1(&chip, 2).render());
+    print!(
+        "{}",
+        timer
+            .time("table1", || experiments::table1(&chip, 2, &engine))
+            .render()
+    );
+
+    eprintln!(
+        "[psa-runtime] repro_all: {} worker(s), total wall {:.2} s",
+        engine.workers(),
+        timer.total_s()
+    );
+    for (name, secs) in timer.entries() {
+        eprintln!("[psa-runtime]   {name:<12} {secs:>9.3} s");
+    }
+    if let Some(path) = json_path {
+        timer
+            .write_json(&path, engine.workers())
+            .expect("bench-json path is writable");
+        eprintln!("[psa-runtime] wrote {}", path.display());
+    }
 }

@@ -1,6 +1,12 @@
 //! Regenerates the Sec. VI-B SNR comparison.
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = psa_runtime::Engine::from_args_and_env(&args);
     println!("== SNR comparison (Sec. VI-B, Eq. 1) ==");
     let chip = psa_bench::experiments::build_chip();
-    print!("{}", psa_bench::experiments::snr_table(&chip).render());
+    print!(
+        "{}",
+        psa_bench::experiments::snr_table(&chip, &engine).render()
+    );
 }

@@ -1,6 +1,24 @@
 //! Regenerates Table I — comparison of EM side-channel methods.
+//!
+//! The campaign runs on the parallel engine (`--jobs N` / `PSA_JOBS`);
+//! output is byte-identical at any worker count, and the timing line
+//! goes to stderr so serial/parallel stdout can be diffed directly.
+
+use std::time::Instant;
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = psa_runtime::Engine::from_args_and_env(&args);
     println!("== Table I: comparison of EM side-channel data collection methods ==");
     let chip = psa_bench::experiments::build_chip();
-    print!("{}", psa_bench::experiments::table1(&chip, 2).render());
+    let t0 = Instant::now();
+    print!(
+        "{}",
+        psa_bench::experiments::table1(&chip, 2, &engine).render()
+    );
+    eprintln!(
+        "[psa-runtime] table1 campaign: {} worker(s), wall {:.2} s",
+        engine.workers(),
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -2,7 +2,7 @@
 //! Table I's "Measurement #" row.
 //!
 //! ```text
-//! cargo run --release -p psa-bench --bin traces_sweep
+//! cargo run --release -p psa-bench --bin traces_sweep [--jobs N]
 //! ```
 //!
 //! The PSA detector is run with 1–5 traces; the single-coil Euclidean
@@ -10,30 +10,47 @@
 //! its smallest budget, while the baseline's verdict on the small Trojan
 //! T3 stays negative no matter how many traces it spends (its per-trace
 //! discriminability, not statistics, is the binding constraint).
+//!
+//! Every `(budget, Trojan)` cell is one engine job.
 
-use psa_core::acquisition::Acquisition;
 use psa_core::chip::{SensorSelect, TestChip};
-use psa_core::cross_domain::CrossDomainAnalyzer;
 use psa_core::detector::{Detector, EuclideanDetector};
 use psa_core::report::Table;
 use psa_core::scenario::Scenario;
 use psa_dsp::peak;
 use psa_gatesim::trojan::TrojanKind;
+use psa_runtime::{Campaign, Engine};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = Engine::from_args_and_env(&args);
     println!("== Detection vs trace budget (Table I, 'Measurement #') ==");
     let chip = TestChip::date24();
-    psa_sweep(&chip);
+    psa_sweep(&chip, &engine);
     println!();
-    baseline_sweep(&chip);
+    baseline_sweep(&chip, &engine);
 }
 
 /// PSA: single-sensor detection decision with 1..=5 traces.
-fn psa_sweep(chip: &TestChip) {
-    let acq = Acquisition::new(chip);
-    let analyzer = CrossDomainAnalyzer::new(chip);
-    let baseline = analyzer.learn_baseline(0xBA5E);
-    let base_env = psa_dsp::peak::local_max_envelope(&baseline.per_sensor_db[10], 8);
+fn psa_sweep(chip: &TestChip, engine: &Engine) {
+    let campaign = Campaign::new(chip, *engine);
+    let baseline = campaign.learn_baseline(0xBA5E);
+    let base_env = peak::local_max_envelope(&baseline.per_sensor_db[10], 8);
+
+    let budgets = [1usize, 2, 3, 5];
+    let mut jobs: Vec<(usize, TrojanKind)> = Vec::new();
+    for &n in &budgets {
+        for kind in TrojanKind::ALL {
+            jobs.push((n, kind));
+        }
+    }
+    let verdicts = campaign.run(&jobs, |ctx, _, &(n, kind)| {
+        let scenario = Scenario::trojan_active(kind).with_seed(600);
+        let spec = ctx
+            .acquire_fullres_spectrum_db(&scenario, SensorSelect::Psa(10), n)
+            .expect("spectrum");
+        !peak::excess_over_baseline_db(&spec, &base_env, 10.0).is_empty()
+    });
 
     let mut t = Table::new(vec![
         "traces".into(),
@@ -42,16 +59,11 @@ fn psa_sweep(chip: &TestChip) {
         "T3".into(),
         "T4".into(),
     ]);
-    for n in [1usize, 2, 3, 5] {
+    for (row_idx, &n) in budgets.iter().enumerate() {
         let mut row = vec![n.to_string()];
-        for kind in TrojanKind::ALL {
-            let scenario = Scenario::trojan_active(kind).with_seed(600);
-            let traces = acq
-                .acquire(&scenario, SensorSelect::Psa(10), n)
-                .expect("acquire");
-            let spec = acq.fullres_spectrum_db(&traces).expect("spectrum");
-            let hits = peak::excess_over_baseline_db(&spec, &base_env, 10.0);
-            row.push(if hits.is_empty() { "miss" } else { "DETECT" }.into());
+        for col in 0..TrojanKind::ALL.len() {
+            let hit = verdicts[row_idx * TrojanKind::ALL.len() + col];
+            row.push(if hit { "DETECT" } else { "miss" }.into());
         }
         t.row(row);
     }
@@ -60,7 +72,22 @@ fn psa_sweep(chip: &TestChip) {
 }
 
 /// Single-coil Euclidean baseline with growing budgets.
-fn baseline_sweep(chip: &TestChip) {
+fn baseline_sweep(chip: &TestChip, engine: &Engine) {
+    let campaign = Campaign::new(chip, *engine);
+    let budgets = [10usize, 30, 60, 120];
+    let mut jobs: Vec<(usize, TrojanKind)> = Vec::new();
+    for &per_side in &budgets {
+        for kind in TrojanKind::ALL {
+            jobs.push((per_side, kind));
+        }
+    }
+    let verdicts = campaign.run(&jobs, |ctx, _, &(per_side, kind)| {
+        let det = EuclideanDetector::single_coil(per_side);
+        det.detect_with(ctx, &Scenario::trojan_active(kind).with_seed(600))
+            .expect("detect")
+            .detected
+    });
+
     let mut t = Table::new(vec![
         "traces (ref+test)".into(),
         "T1".into(),
@@ -68,14 +95,11 @@ fn baseline_sweep(chip: &TestChip) {
         "T3".into(),
         "T4".into(),
     ]);
-    for per_side in [10usize, 30, 60, 120] {
-        let det = EuclideanDetector::single_coil(per_side);
+    for (row_idx, &per_side) in budgets.iter().enumerate() {
         let mut row = vec![format!("{}", 2 * per_side)];
-        for kind in TrojanKind::ALL {
-            let out = det
-                .detect(chip, &Scenario::trojan_active(kind).with_seed(600))
-                .expect("detect");
-            row.push(if out.detected { "DETECT" } else { "miss" }.into());
+        for col in 0..TrojanKind::ALL.len() {
+            let hit = verdicts[row_idx * TrojanKind::ALL.len() + col];
+            row.push(if hit { "DETECT" } else { "miss" }.into());
         }
         t.row(row);
     }

@@ -1,17 +1,24 @@
 //! Shared experiment drivers behind the reproduction binaries and
-//! Criterion benches. Each function regenerates one artifact of the
-//! paper's evaluation section and returns printable rows.
+//! benches. Each function regenerates one artifact of the paper's
+//! evaluation section and returns printable rows.
+//!
+//! Every chip-bound driver takes an [`Engine`] and fans its independent
+//! jobs (scenarios × sensors × seeds) across the worker pool via
+//! [`Campaign`]; results are collected in submission order, so the
+//! printed artifacts are **byte-identical at any worker count**
+//! (`--jobs 1` reproduces the historical serial runs exactly, and the
+//! workspace equivalence tests assert it).
 
-use psa_core::acquisition::Acquisition;
 use psa_core::chip::{SensorSelect, TestChip};
-use psa_core::cross_domain::{Baseline, CrossDomainAnalyzer};
+use psa_core::cross_domain::CrossDomainAnalyzer;
 use psa_core::detector::{BackscatterDetector, CrossDomainDetector, Detector, EuclideanDetector};
-use psa_core::mttd::{mttd_trial, MonitorTiming};
+use psa_core::mttd::{mttd_trial_with, MonitorTiming};
 use psa_core::report::{db, mhz, pct, sparkline, yes_no, Table};
 use psa_core::scenario::Scenario;
-use psa_core::snr::snr_comparison;
+use psa_core::snr::measure_snr_with;
 use psa_core::{calib, identify};
 use psa_gatesim::trojan::TrojanKind;
+use psa_runtime::{Campaign, Engine};
 
 /// Builds the shared chip once (expensive: placement + coupling
 /// matrices).
@@ -54,9 +61,19 @@ pub fn table2() -> Table {
 // SNR comparison (Sec. VI-B) — feeds Table I's SNR row too.
 // ---------------------------------------------------------------------
 
-/// SNR rows: `(label, measured_db, paper_db)`.
-pub fn snr_rows(chip: &TestChip) -> Vec<(String, f64, f64)> {
-    let rows = snr_comparison(chip, 3).expect("snr comparison");
+/// SNR rows: `(label, measured_db, paper_db)`. One engine job per
+/// sensing selection.
+pub fn snr_rows(chip: &TestChip, engine: &Engine) -> Vec<(String, f64, f64)> {
+    let selections = [
+        SensorSelect::Psa(10),
+        SensorSelect::SingleCoil,
+        SensorSelect::IcrHh100,
+        SensorSelect::LangerLf1,
+    ];
+    let campaign = Campaign::new(chip, *engine);
+    let rows = campaign.run(&selections, |ctx, _, &sensor| {
+        measure_snr_with(ctx, sensor, 4, 3).expect("snr measurement on built-in sensors")
+    });
     rows.into_iter()
         .map(|m| {
             let paper = match m.sensor {
@@ -71,13 +88,13 @@ pub fn snr_rows(chip: &TestChip) -> Vec<(String, f64, f64)> {
 }
 
 /// Renders the SNR comparison table.
-pub fn snr_table(chip: &TestChip) -> Table {
+pub fn snr_table(chip: &TestChip, engine: &Engine) -> Table {
     let mut t = Table::new(vec![
         "sensing method".into(),
         "measured SNR".into(),
         "paper SNR".into(),
     ]);
-    for (label, measured, paper) in snr_rows(chip) {
+    for (label, measured, paper) in snr_rows(chip, engine) {
         t.row(vec![label, db(measured), db(paper)]);
     }
     t
@@ -88,6 +105,11 @@ pub fn snr_table(chip: &TestChip) -> Table {
 // ---------------------------------------------------------------------
 
 /// One Table I column, measured.
+///
+/// Deliberately no `PartialEq`: the backscatter row's `snr_db` is NaN
+/// by design, so a derived `==` would never hold between identical
+/// campaigns — compare field-wise with `f64::to_bits` instead (as the
+/// parallel-equivalence test does).
 #[derive(Debug, Clone)]
 pub struct MethodSummary {
     /// Method name.
@@ -104,12 +126,17 @@ pub struct MethodSummary {
     pub runtime: bool,
 }
 
-/// Runs the Table I comparison campaign.
+/// Runs the Table I comparison campaign: every `(method, Trojan, seed)`
+/// detection attempt is one engine job against the shared chip.
 ///
-/// `seeds_per_trojan` controls the campaign size (the binary uses 3;
+/// `seeds_per_trojan` controls the campaign size (the binary uses 2;
 /// tests may use 1).
-pub fn table1_campaign(chip: &TestChip, seeds_per_trojan: usize) -> Vec<MethodSummary> {
-    let snr = snr_rows(chip);
+pub fn table1_campaign(
+    chip: &TestChip,
+    seeds_per_trojan: usize,
+    engine: &Engine,
+) -> Vec<MethodSummary> {
+    let snr = snr_rows(chip, engine);
     let snr_of = |s: &str| {
         snr.iter()
             .find(|(l, _, _)| l.contains(s))
@@ -117,39 +144,59 @@ pub fn table1_campaign(chip: &TestChip, seeds_per_trojan: usize) -> Vec<MethodSu
             .unwrap_or(f64::NAN)
     };
 
-    let cross = CrossDomainDetector::new(chip, 0xBA5E);
+    let campaign = Campaign::new(chip, *engine);
+    // The cross-domain baseline itself is learned in parallel (one job
+    // per sensor; byte-identical to the serial learning loop).
+    let cross = CrossDomainDetector::with_baseline(campaign.learn_baseline(0xBA5E));
     let euclid_probe = EuclideanDetector::external_probe(60);
     let euclid_coil = EuclideanDetector::single_coil(60);
     let backscatter = BackscatterDetector::default();
 
-    let mut summaries = Vec::new();
     let detectors: [(&dyn Detector, f64, usize); 4] = [
         (&cross, snr_of("PSA"), 2 * calib::TRACES_PER_SPECTRUM),
         (&euclid_probe, snr_of("LF1"), 2 * 60),
         (&euclid_coil, snr_of("single"), 2 * 60),
         (&backscatter, f64::NAN, 100),
     ];
-    for (det, snr_db, measurements) in detectors {
-        let mut detections = 0usize;
-        let mut trials = 0usize;
+
+    // One job per (detector, trojan, seed), in deterministic submission
+    // order; workers share the detectors (Detector: Send + Sync) and
+    // each brings its own acquisition context.
+    let mut jobs: Vec<(usize, TrojanKind, usize)> = Vec::new();
+    for d_idx in 0..detectors.len() {
         for kind in TrojanKind::ALL {
             for s in 0..seeds_per_trojan {
-                let scenario = Scenario::trojan_active(kind).with_seed(7000 + s as u64 * 31);
-                let outcome = det
-                    .detect(chip, &scenario)
-                    .expect("detector runs on built-in chip");
+                jobs.push((d_idx, kind, s));
+            }
+        }
+    }
+    let detections = campaign.run(&jobs, |ctx, _, &(d_idx, kind, s)| {
+        let scenario = Scenario::trojan_active(kind).with_seed(7000 + s as u64 * 31);
+        detectors[d_idx]
+            .0
+            .detect_with(ctx, &scenario)
+            .expect("detector runs on built-in chip")
+            .detected
+    });
+
+    let mut summaries = Vec::new();
+    for (d_idx, (det, snr_db, measurements)) in detectors.iter().enumerate() {
+        let mut trials = 0usize;
+        let mut hits = 0usize;
+        for (&(j_d, _, _), &detected) in jobs.iter().zip(&detections) {
+            if j_d == d_idx {
                 trials += 1;
-                if outcome.detected {
-                    detections += 1;
+                if detected {
+                    hits += 1;
                 }
             }
         }
         summaries.push(MethodSummary {
             name: det.name().to_string(),
-            detection_rate: detections as f64 / trials as f64,
+            detection_rate: hits as f64 / trials as f64,
             localization: det.can_localize(),
-            measurements,
-            snr_db,
+            measurements: *measurements,
+            snr_db: *snr_db,
             runtime: matches!(
                 det.name(),
                 n if n.contains("PSA") || n.contains("single")
@@ -160,7 +207,7 @@ pub fn table1_campaign(chip: &TestChip, seeds_per_trojan: usize) -> Vec<MethodSu
 }
 
 /// Renders Table I.
-pub fn table1(chip: &TestChip, seeds_per_trojan: usize) -> Table {
+pub fn table1(chip: &TestChip, seeds_per_trojan: usize, engine: &Engine) -> Table {
     let mut t = Table::new(vec![
         "feature".into(),
         "external probe".into(),
@@ -168,7 +215,7 @@ pub fn table1(chip: &TestChip, seeds_per_trojan: usize) -> Table {
         "single coil".into(),
         "PSA (this work)".into(),
     ]);
-    let s = table1_campaign(chip, seeds_per_trojan);
+    let s = table1_campaign(chip, seeds_per_trojan, engine);
     let by = |needle: &str| {
         s.iter()
             .find(|m| m.name.contains(needle))
@@ -220,23 +267,24 @@ pub fn table1(chip: &TestChip, seeds_per_trojan: usize) -> Table {
 // Fig 3 — PSA vs external probe spectrum magnitude.
 // ---------------------------------------------------------------------
 
-/// Fig 3 series: `(psa_db, probe_db, diff_db)`, each 2000 points.
-pub fn fig3_series(chip: &TestChip) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
-    let acq = Acquisition::new(chip);
-    let scenario = Scenario::baseline().with_seed(333);
-    let psa = acq
-        .averaged_spectrum_db(&scenario, SensorSelect::Psa(10))
-        .expect("psa spectrum");
-    let probe = acq
-        .averaged_spectrum_db(&scenario, SensorSelect::LangerLf1)
-        .expect("probe spectrum");
+/// Fig 3 series: `(psa_db, probe_db, diff_db)`, each 2000 points. The
+/// two sensor sweeps run as parallel jobs.
+pub fn fig3_series(chip: &TestChip, engine: &Engine) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let campaign = Campaign::new(chip, *engine);
+    let sensors = [SensorSelect::Psa(10), SensorSelect::LangerLf1];
+    let mut spectra = campaign.run(&sensors, |ctx, _, &sensor| {
+        ctx.averaged_spectrum_db(&Scenario::baseline().with_seed(333), sensor)
+            .expect("display spectrum on built-in sensors")
+    });
+    let probe = spectra.pop().expect("two jobs submitted");
+    let psa = spectra.pop().expect("two jobs submitted");
     let diff: Vec<f64> = psa.iter().zip(&probe).map(|(a, b)| a - b).collect();
     (psa, probe, diff)
 }
 
 /// Renders Fig 3 as sparklines plus the headline numbers.
-pub fn fig3_report(chip: &TestChip) -> String {
-    let (psa, probe, diff) = fig3_series(chip);
+pub fn fig3_report(chip: &TestChip, engine: &Engine) -> String {
+    let (psa, probe, diff) = fig3_series(chip, engine);
     let max_diff = diff.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let mut out = String::new();
     out.push_str(&format!(
@@ -275,39 +323,63 @@ pub struct Fig4Panel {
     pub excess_84_db: f64,
 }
 
-/// Measures all Fig 4 panels (sensors 10 and 0, each Trojan).
-pub fn fig4_panels(chip: &TestChip) -> Vec<Fig4Panel> {
-    let acq = Acquisition::new(chip);
-    let spec_of = |scen: &Scenario, s: usize| {
-        let t = acq
-            .acquire(scen, SensorSelect::Psa(s), calib::TRACES_PER_SPECTRUM)
-            .expect("acquire");
-        acq.fullres_spectrum_db(&t).expect("spectrum")
+/// Measures all Fig 4 panels (sensors 10 and 0, each Trojan): one
+/// spectrum job per (sensor, scenario).
+pub fn fig4_panels(chip: &TestChip, engine: &Engine) -> Vec<Fig4Panel> {
+    let campaign = Campaign::new(chip, *engine);
+    // Jobs: per sensor, first the baseline spectrum, then each Trojan.
+    let mut jobs: Vec<(usize, Option<TrojanKind>)> = Vec::new();
+    for sensor in [10usize, 0] {
+        jobs.push((sensor, None));
+        for kind in TrojanKind::ALL {
+            jobs.push((sensor, Some(kind)));
+        }
+    }
+    let spectra = campaign.run(&jobs, |ctx, _, &(sensor, kind)| {
+        let scenario = match kind {
+            None => Scenario::baseline().with_seed(41),
+            Some(k) => Scenario::trojan_active(k).with_seed(42),
+        };
+        ctx.acquire_fullres_spectrum_db(
+            &scenario,
+            SensorSelect::Psa(sensor),
+            calib::TRACES_PER_SPECTRUM,
+        )
+        .expect("spectrum")
+    });
+
+    let bin_of = |f: f64| {
+        let n = calib::RECORD_CYCLES * calib::SAMPLES_PER_CYCLE;
+        psa_dsp::fft::freq_bin(f, n, calib::sample_rate_hz())
     };
     let mut panels = Vec::new();
-    for sensor in [10usize, 0] {
-        let base = spec_of(&Scenario::baseline().with_seed(41), sensor);
-        for kind in TrojanKind::ALL {
-            let act = spec_of(&Scenario::trojan_active(kind).with_seed(42), sensor);
-            let excess = |f: f64| {
-                let b = acq.fullres_freq_bin(f);
-                (b - 3..=b + 3)
-                    .map(|k| act[k] - base[k])
-                    .fold(f64::MIN, f64::max)
-            };
-            panels.push(Fig4Panel {
-                trojan: kind,
-                sensor,
-                excess_48_db: excess(48.0e6),
-                excess_84_db: excess(84.0e6),
-            });
-        }
+    for (job, spec) in jobs.iter().zip(&spectra) {
+        let (sensor, Some(kind)) = *job else { continue };
+        // The sensor's baseline is the `None` job submitted just before
+        // its Trojan jobs.
+        let base_idx = jobs
+            .iter()
+            .position(|&j| j == (sensor, None))
+            .expect("baseline job submitted per sensor");
+        let base = &spectra[base_idx];
+        let excess = |f: f64| {
+            let b = bin_of(f);
+            (b - 3..=b + 3)
+                .map(|k| spec[k] - base[k])
+                .fold(f64::MIN, f64::max)
+        };
+        panels.push(Fig4Panel {
+            trojan: kind,
+            sensor,
+            excess_48_db: excess(48.0e6),
+            excess_84_db: excess(84.0e6),
+        });
     }
     panels
 }
 
 /// Renders the Fig 4 table.
-pub fn fig4_table(chip: &TestChip) -> Table {
+pub fn fig4_table(chip: &TestChip, engine: &Engine) -> Table {
     let mut t = Table::new(vec![
         "panel".into(),
         "sensor".into(),
@@ -315,7 +387,7 @@ pub fn fig4_table(chip: &TestChip) -> Table {
         "excess @84 MHz".into(),
         "paper".into(),
     ]);
-    for p in fig4_panels(chip) {
+    for p in fig4_panels(chip, engine) {
         let paper = if p.sensor == 10 {
             "prominent components"
         } else {
@@ -349,18 +421,18 @@ pub struct Fig5Panel {
     pub distance: f64,
 }
 
-/// Measures the four Fig 5 panels through the full analyzer.
-pub fn fig5_panels(chip: &TestChip) -> Vec<Fig5Panel> {
-    let acq = Acquisition::new(chip);
+/// Measures the four Fig 5 panels through the full analyzer, one engine
+/// job per Trojan (the analyzer and its learned baseline are shared).
+pub fn fig5_panels(chip: &TestChip, engine: &Engine) -> Vec<Fig5Panel> {
+    let campaign = Campaign::new(chip, *engine);
     let analyzer = CrossDomainAnalyzer::new(chip);
-    let baseline = analyzer.learn_baseline(0xF15);
-    let mut panels = Vec::new();
-    for kind in TrojanKind::ALL {
+    let baseline = campaign.learn_baseline(0xF15);
+    campaign.run(&TrojanKind::ALL, |ctx, _, &kind| {
         let scenario = Scenario::trojan_active(kind).with_seed(555 + kind.index() as u64);
         let verdict = analyzer
-            .analyze(&scenario, &baseline)
+            .analyze_with(ctx, &scenario, &baseline)
             .expect("analysis succeeds");
-        let envelope = acq
+        let envelope = ctx
             .zero_span_rbw(
                 &scenario,
                 SensorSelect::Psa(verdict.localized_sensor.unwrap_or(10)),
@@ -369,19 +441,18 @@ pub fn fig5_panels(chip: &TestChip) -> Vec<Fig5Panel> {
                 6,
             )
             .expect("zero span");
-        panels.push(Fig5Panel {
+        Fig5Panel {
             trojan: kind,
             envelope,
             identified: verdict.identified.unwrap_or(kind),
             distance: verdict.identification_distance.unwrap_or(f64::NAN),
-        });
-    }
-    panels
+        }
+    })
 }
 
 /// Renders the Fig 5 report: envelopes and classification outcome.
-pub fn fig5_report(chip: &TestChip) -> String {
-    let panels = fig5_panels(chip);
+pub fn fig5_report(chip: &TestChip, engine: &Engine) -> String {
+    let panels = fig5_panels(chip, engine);
     let mut out = String::new();
     let mut correct = 0;
     for p in &panels {
@@ -454,23 +525,26 @@ pub fn vt_table() -> Table {
 // Sec. VI-D — MTTD.
 // ---------------------------------------------------------------------
 
-/// MTTD rows per Trojan: `(trojan, detected, time_ms, traces)`.
-pub fn mttd_rows(chip: &TestChip, baseline: &Baseline) -> Vec<(TrojanKind, bool, f64, usize)> {
+/// MTTD rows per Trojan: `(trojan, detected, time_ms, traces)` — one
+/// engine job per Trojan.
+pub fn mttd_rows(
+    chip: &TestChip,
+    baseline: &psa_core::cross_domain::Baseline,
+    engine: &Engine,
+) -> Vec<(TrojanKind, bool, f64, usize)> {
+    let campaign = Campaign::new(chip, *engine);
     let timing = MonitorTiming::default();
-    TrojanKind::ALL
-        .iter()
-        .map(|&kind| {
-            let scenario = Scenario::trojan_active(kind).with_seed(888);
-            let r = mttd_trial(chip, &scenario, baseline, 10, &timing, 64).expect("mttd trial");
-            (kind, r.detected, r.time_to_detect_s * 1e3, r.traces_used)
-        })
-        .collect()
+    campaign.run(&TrojanKind::ALL, |ctx, _, &kind| {
+        let scenario = Scenario::trojan_active(kind).with_seed(888);
+        let r = mttd_trial_with(ctx, &scenario, baseline, 10, &timing, 64).expect("mttd trial");
+        (kind, r.detected, r.time_to_detect_s * 1e3, r.traces_used)
+    })
 }
 
 /// Renders the MTTD table (plus the baseline-method latency context).
-pub fn mttd_table(chip: &TestChip) -> Table {
-    let analyzer = CrossDomainAnalyzer::new(chip);
-    let baseline = analyzer.learn_baseline(0xBA5E);
+pub fn mttd_table(chip: &TestChip, engine: &Engine) -> Table {
+    let campaign = Campaign::new(chip, *engine);
+    let baseline = campaign.learn_baseline(0xBA5E);
     let mut t = Table::new(vec![
         "trojan".into(),
         "detected".into(),
@@ -478,7 +552,7 @@ pub fn mttd_table(chip: &TestChip) -> Table {
         "traces".into(),
         "paper".into(),
     ]);
-    for (kind, detected, ms, traces) in mttd_rows(chip, &baseline) {
+    for (kind, detected, ms, traces) in mttd_rows(chip, &baseline, engine) {
         t.row(vec![
             kind.to_string(),
             yes_no(detected),

@@ -89,6 +89,95 @@ impl Harness {
     }
 }
 
+/// Wall-clock timer for whole paper artifacts, with JSON export — the
+/// seed of the `BENCH_*.json` timing-trajectory tracking.
+///
+/// `repro_all --bench-json [path]` times each artifact regeneration and
+/// writes the per-artifact wall times (plus worker count) as JSON, so CI
+/// can archive a timing point per commit and serial-vs-parallel runs can
+/// be compared directly.
+#[derive(Debug, Default)]
+pub struct ArtifactTimer {
+    entries: Vec<(String, f64)>,
+}
+
+impl ArtifactTimer {
+    /// An empty timer.
+    pub fn new() -> Self {
+        ArtifactTimer::default()
+    }
+
+    /// Runs `f`, recording its wall time under `name`; returns `f`'s
+    /// result.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.entries
+            .push((name.to_string(), t0.elapsed().as_secs_f64()));
+        out
+    }
+
+    /// Recorded `(artifact, wall_seconds)` entries, in execution order.
+    pub fn entries(&self) -> &[(String, f64)] {
+        &self.entries
+    }
+
+    /// Total recorded wall time, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.entries.iter().map(|(_, s)| s).sum()
+    }
+
+    /// Renders the timing report as JSON (std-only, no serde):
+    ///
+    /// ```json
+    /// {"schema":"psa-bench-json/1","workers":4,"total_s":12.3,
+    ///  "artifacts":[{"name":"table1","wall_s":2.5}, ...]}
+    /// ```
+    pub fn to_json(&self, workers: usize) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"psa-bench-json/1\",\n");
+        out.push_str(&format!("  \"workers\": {workers},\n"));
+        out.push_str(&format!("  \"total_s\": {:.6},\n", self.total_s()));
+        out.push_str("  \"artifacts\": [\n");
+        for (i, (name, secs)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_s\": {:.6}}}{comma}\n",
+                json_escape(name),
+                secs
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: &std::path::Path, workers: usize) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json(workers))
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 fn fmt_ns(ns: f64) -> String {
     if ns >= 1.0e9 {
         format!("{:.3} s", ns / 1.0e9)
@@ -124,6 +213,32 @@ mod tests {
         let mut count = 0u64;
         harness.bench("smoke", || count += 1);
         assert!(count > 0);
+    }
+
+    #[test]
+    fn artifact_timer_records_and_exports_json() {
+        let mut timer = ArtifactTimer::new();
+        let v = timer.time("table\"1\"", || 42);
+        assert_eq!(v, 42);
+        timer.time("fig3", || std::thread::sleep(Duration::from_millis(2)));
+        assert_eq!(timer.entries().len(), 2);
+        assert!(timer.entries()[1].1 >= 0.002);
+        assert!(timer.total_s() >= timer.entries()[1].1);
+        let json = timer.to_json(4);
+        assert!(json.contains("\"schema\": \"psa-bench-json/1\""));
+        assert!(json.contains("\"workers\": 4"));
+        assert!(json.contains("table\\\"1\\\""));
+        assert!(json.contains("\"fig3\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny\t"), "x\\ny\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

@@ -15,8 +15,15 @@
 //! | `mttd`        | Sec. VI-D — traces-to-detect and MTTD                 |
 //! | `repro_all`   | runs everything above in sequence                     |
 //!
-//! The Criterion benches (one per table/figure) measure the hot pipeline
-//! behind the corresponding artifact.
+//! Every chip-bound binary runs its campaign on the `psa-runtime`
+//! parallel engine: `--jobs N` (or the `PSA_JOBS` environment variable)
+//! sets the worker count, `--jobs 1` is the serial fallback, and stdout
+//! is byte-identical at any worker count. `repro_all --bench-json
+//! [PATH]` additionally writes per-artifact wall times as JSON.
+//!
+//! The std-only benches (one per table/figure) measure the hot pipeline
+//! behind the corresponding artifact, including the batch
+//! (plan-once/run-many) spectrum path the engine workers use.
 //!
 //! This library exposes the shared experiment drivers so the binaries and
 //! benches stay tiny.

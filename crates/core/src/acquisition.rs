@@ -4,6 +4,17 @@
 //! the selected sensor's EMF is synthesized from the activity via the
 //! coupling matrix, the analog chain amplifies and digitizes, and the
 //! spectrum-analyzer model renders 2000-point DC–120 MHz traces.
+//!
+//! Two entry points share the same pipeline:
+//!
+//! * [`Acquisition`] — the stateless borrowed-chip engine. Convenient,
+//!   but every call builds its scratch from scratch.
+//! * [`AcqContext`] — a reusable **per-worker context** owning all
+//!   scratch state (window coefficients, FFT plans, current/EMF/record
+//!   buffers). The campaign engine in `psa-runtime` gives each worker
+//!   thread one context; record after record then runs with no hot-path
+//!   allocations. Outputs are bit-identical to [`Acquisition`]'s, which
+//!   is what makes parallel campaigns byte-identical to serial ones.
 
 use crate::calib;
 use crate::chip::{SensorSelect, TestChip};
@@ -11,8 +22,11 @@ use crate::error::CoreError;
 use crate::scenario::Scenario;
 use psa_analog::frontend::AnalogFrontEnd;
 use psa_analog::specan::SpectrumAnalyzer;
-use psa_field::induction::induced_emf;
-use psa_gatesim::activity::ActivitySimulator;
+use psa_dsp::batch::SpectrumScratch;
+use psa_dsp::window::Window;
+use psa_field::induction::induced_emf_into;
+use psa_gatesim::activity::{ActivitySimulator, Source};
+use psa_gatesim::current::trace_to_currents_into;
 
 /// A set of digitized records from one sensor under one scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,14 +51,366 @@ impl TraceSet {
         self.records.is_empty()
     }
 
+    /// Total sample count across all records.
+    pub fn num_samples(&self) -> usize {
+        self.records.iter().map(Vec::len).sum()
+    }
+
+    /// All samples in record order, without materializing the
+    /// concatenation.
+    pub fn samples(&self) -> impl Iterator<Item = f64> + '_ {
+        self.records.iter().flat_map(|r| r.iter().copied())
+    }
+
+    /// RMS over all samples — the quantity in the paper's Eq. (1) SNR —
+    /// computed directly from the records (identical sample order, and
+    /// therefore identical rounding, to RMS over
+    /// [`concatenated`](Self::concatenated)).
+    pub fn rms(&self) -> f64 {
+        let n = self.num_samples();
+        if n == 0 {
+            return 0.0;
+        }
+        (self.samples().map(|v| v * v).sum::<f64>() / n as f64).sqrt()
+    }
+
+    /// Concatenates all records into a caller-owned buffer (cleared
+    /// first, reserved exactly once), so zero-span callers can reuse one
+    /// allocation across acquisitions.
+    pub fn concat_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.num_samples());
+        for r in &self.records {
+            out.extend_from_slice(r);
+        }
+    }
+
     /// All records concatenated (for zero-span analysis over a longer
-    /// observation).
+    /// observation). Allocates exactly once; hot paths should prefer
+    /// [`concat_into`](Self::concat_into) or [`samples`](Self::samples).
     pub fn concatenated(&self) -> Vec<f64> {
-        self.records.concat()
+        let mut out = Vec::new();
+        self.concat_into(&mut out);
+        out
+    }
+}
+
+impl Default for TraceSet {
+    /// An empty trace set (placeholder sensor), for use as a reusable
+    /// output slot of [`AcqContext::acquire_into`].
+    fn default() -> Self {
+        TraceSet {
+            records: Vec::new(),
+            fs_hz: 0.0,
+            sensor: SensorSelect::Psa(0),
+        }
+    }
+}
+
+/// Reusable per-worker acquisition context.
+///
+/// Owns every scratch buffer of the acquisition → spectrum pipeline:
+/// synthesized current waveforms, flux/EMF buffers, the record buffers
+/// themselves (via reusable [`TraceSet`] slots), and the cached
+/// window/FFT state for both the detector-resolution and display-trace
+/// spectra. One context per worker thread; the shared [`TestChip`] is
+/// borrowed immutably (it is `Sync`).
+///
+/// Results are **bit-identical** to the corresponding [`Acquisition`]
+/// methods and independent of what the context processed before — the
+/// contract the parallel campaign engine's determinism rests on.
+#[derive(Debug)]
+pub struct AcqContext<'c> {
+    chip: &'c TestChip,
+    specan: SpectrumAnalyzer,
+    fullres: SpectrumScratch,
+    display: SpectrumScratch,
+    currents: Vec<(Source, Vec<f64>)>,
+    flux: Vec<f64>,
+    emf: Vec<f64>,
+    concat: Vec<f64>,
+    traces: TraceSet,
+}
+
+impl<'c> AcqContext<'c> {
+    /// Creates a context with the paper's spectrum-analyzer settings.
+    pub fn new(chip: &'c TestChip) -> Self {
+        Self::with_specan(chip, SpectrumAnalyzer::date24())
+    }
+
+    /// Creates a context with explicit spectrum-analyzer settings.
+    pub fn with_specan(chip: &'c TestChip, specan: SpectrumAnalyzer) -> Self {
+        let display = specan.scratch();
+        AcqContext {
+            chip,
+            specan,
+            fullres: SpectrumScratch::new(Window::Hann),
+            display,
+            currents: Vec::new(),
+            flux: Vec::new(),
+            emf: Vec::new(),
+            concat: Vec::new(),
+            traces: TraceSet::default(),
+        }
+    }
+
+    /// The chip this context measures.
+    pub fn chip(&self) -> &'c TestChip {
+        self.chip
+    }
+
+    /// The spectrum-analyzer model in use.
+    pub fn specan(&self) -> &SpectrumAnalyzer {
+        &self.specan
+    }
+
+    /// Acquires `n_records` consecutive records from `sensor` while the
+    /// chip runs `scenario`, reusing `out`'s record buffers.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Acquisition::acquire`].
+    pub fn acquire_into(
+        &mut self,
+        scenario: &Scenario,
+        sensor: SensorSelect,
+        n_records: usize,
+        out: &mut TraceSet,
+    ) -> Result<(), CoreError> {
+        self.acquire_len_into(scenario, sensor, n_records, calib::RECORD_CYCLES, out)
+    }
+
+    /// [`acquire_into`](Self::acquire_into) with an explicit record
+    /// length in clock cycles.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Acquisition::acquire_len`].
+    pub fn acquire_len_into(
+        &mut self,
+        scenario: &Scenario,
+        sensor: SensorSelect,
+        n_records: usize,
+        record_cycles: usize,
+        out: &mut TraceSet,
+    ) -> Result<(), CoreError> {
+        if n_records == 0 {
+            return Err(CoreError::InvalidParameter {
+                what: "record count must be at least 1",
+            });
+        }
+        if record_cycles == 0 {
+            return Err(CoreError::InvalidParameter {
+                what: "record length must be at least 1 cycle",
+            });
+        }
+        let fs = calib::sample_rate_hz();
+        let couplings = self.chip.couplings_for(sensor)?;
+        let noise_vrms =
+            self.chip
+                .sensor_noise_vrms(sensor, fs / 2.0, scenario.vdd, scenario.temp_c);
+        let frontend = frontend_for(sensor, scenario.seed ^ 0xFE);
+
+        let mut sim = ActivitySimulator::new(scenario.chip_config());
+        if scenario.warmup_cycles > 0 {
+            let _ = sim.advance(scenario.warmup_cycles);
+        }
+
+        out.fs_hz = fs;
+        out.sensor = sensor;
+        out.records.truncate(n_records);
+        while out.records.len() < n_records {
+            out.records.push(Vec::new());
+        }
+        for (rec_idx, record) in out.records.iter_mut().enumerate() {
+            let trace = sim.advance(record_cycles);
+            trace_to_currents_into(
+                &trace,
+                self.chip.charges_fc(),
+                calib::CLK_HZ,
+                &mut self.currents,
+            );
+            // Pair each source's current with its coupling (both follow
+            // Source::ALL order).
+            let pairs: Vec<(&[f64], f64)> = self
+                .currents
+                .iter()
+                .zip(&couplings)
+                .map(|((_, wave), &k)| (wave.as_slice(), k))
+                .collect();
+            induced_emf_into(
+                &pairs,
+                calib::EFFECTIVE_MOMENT_AREA_M2,
+                fs,
+                &mut self.flux,
+                &mut self.emf,
+            )?;
+            frontend.capture_record_into(&self.emf, fs, noise_vrms, rec_idx as u64, record)?;
+        }
+        Ok(())
+    }
+
+    /// Acquires into a fresh [`TraceSet`] (convenience; prefer
+    /// [`acquire_into`](Self::acquire_into) in loops).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Acquisition::acquire`].
+    pub fn acquire(
+        &mut self,
+        scenario: &Scenario,
+        sensor: SensorSelect,
+        n_records: usize,
+    ) -> Result<TraceSet, CoreError> {
+        let mut out = TraceSet::default();
+        self.acquire_into(scenario, sensor, n_records, &mut out)?;
+        Ok(out)
+    }
+
+    /// Renders the averaged 2000-point display spectrum (dB) of a trace
+    /// set, reusing the display-window scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Acquisition::spectrum_db`].
+    pub fn spectrum_db(&mut self, traces: &TraceSet) -> Result<Vec<f64>, CoreError> {
+        Ok(self
+            .specan
+            .averaged_trace_db_with(&mut self.display, &traces.records, traces.fs_hz)?)
+    }
+
+    /// Full-FFT-resolution averaged amplitude spectrum in dB, reusing
+    /// the detector-window scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Acquisition::fullres_spectrum_db`].
+    pub fn fullres_spectrum_db(&mut self, traces: &TraceSet) -> Result<Vec<f64>, CoreError> {
+        if traces.records.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                what: "trace set is empty",
+            });
+        }
+        Ok(self.fullres.averaged_spectrum_db(&traces.records)?)
+    }
+
+    /// Acquire `n_records` and render the full-resolution detector
+    /// spectrum in one call, reusing the context's internal trace slot —
+    /// the campaign hot path (no record-buffer allocation after the
+    /// worker's first job).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`acquire_into`](Self::acquire_into) and
+    /// [`fullres_spectrum_db`](Self::fullres_spectrum_db).
+    pub fn acquire_fullres_spectrum_db(
+        &mut self,
+        scenario: &Scenario,
+        sensor: SensorSelect,
+        n_records: usize,
+    ) -> Result<Vec<f64>, CoreError> {
+        let mut traces = std::mem::take(&mut self.traces);
+        let result = self
+            .acquire_into(scenario, sensor, n_records, &mut traces)
+            .and_then(|()| self.fullres_spectrum_db(&traces));
+        self.traces = traces;
+        result
+    }
+
+    /// Convenience: acquire and render the averaged display spectrum.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Acquisition::averaged_spectrum_db`].
+    pub fn averaged_spectrum_db(
+        &mut self,
+        scenario: &Scenario,
+        sensor: SensorSelect,
+    ) -> Result<Vec<f64>, CoreError> {
+        let mut traces = std::mem::take(&mut self.traces);
+        let result = self
+            .acquire_into(scenario, sensor, calib::TRACES_PER_SPECTRUM, &mut traces)
+            .and_then(|()| self.spectrum_db(&traces));
+        self.traces = traces;
+        result
+    }
+
+    /// Frequency of full-resolution bin `k` for the standard record
+    /// length.
+    pub fn fullres_bin_hz(&self, k: usize) -> f64 {
+        let n = calib::RECORD_CYCLES * calib::SAMPLES_PER_CYCLE;
+        psa_dsp::fft::bin_freq(k, n, calib::sample_rate_hz())
+    }
+
+    /// Closest full-resolution bin to a frequency.
+    pub fn fullres_freq_bin(&self, freq_hz: f64) -> usize {
+        let n = calib::RECORD_CYCLES * calib::SAMPLES_PER_CYCLE;
+        psa_dsp::fft::freq_bin(freq_hz, n, calib::sample_rate_hz())
+    }
+
+    /// Zero-span envelope of `center_hz` over `n_records` concatenated
+    /// records, reusing the concatenation scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Acquisition::zero_span`].
+    pub fn zero_span(
+        &mut self,
+        scenario: &Scenario,
+        sensor: SensorSelect,
+        center_hz: f64,
+        n_records: usize,
+    ) -> Result<Vec<f64>, CoreError> {
+        let mut traces = std::mem::take(&mut self.traces);
+        let result = self
+            .acquire_into(scenario, sensor, n_records, &mut traces)
+            .and_then(|()| {
+                traces.concat_into(&mut self.concat);
+                Ok(self
+                    .specan
+                    .zero_span_trace(&self.concat, traces.fs_hz, center_hz)?)
+            });
+        self.traces = traces;
+        result
+    }
+
+    /// Zero-span with an explicit resolution bandwidth, reusing the
+    /// concatenation scratch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Acquisition::zero_span_rbw`].
+    pub fn zero_span_rbw(
+        &mut self,
+        scenario: &Scenario,
+        sensor: SensorSelect,
+        center_hz: f64,
+        rbw_hz: f64,
+        n_records: usize,
+    ) -> Result<Vec<f64>, CoreError> {
+        let mut traces = std::mem::take(&mut self.traces);
+        let result = self
+            .acquire_into(scenario, sensor, n_records, &mut traces)
+            .and_then(|()| {
+                traces.concat_into(&mut self.concat);
+                Ok(self.specan.zero_span_trace_rbw(
+                    &self.concat,
+                    traces.fs_hz,
+                    center_hz,
+                    rbw_hz,
+                )?)
+            });
+        self.traces = traces;
+        result
     }
 }
 
 /// The acquisition engine bound to a chip.
+///
+/// Stateless and `Sync`; every method internally runs on a fresh
+/// [`AcqContext`], so scratch is still reused across the records of one
+/// call. Loops that issue many calls should hold their own context via
+/// [`context`](Self::context).
 #[derive(Debug, Clone)]
 pub struct Acquisition<'a> {
     chip: &'a TestChip,
@@ -63,6 +429,12 @@ impl<'a> Acquisition<'a> {
     /// The spectrum-analyzer model in use.
     pub fn specan(&self) -> &SpectrumAnalyzer {
         &self.specan
+    }
+
+    /// A reusable per-worker context bound to the same chip and
+    /// analyzer settings.
+    pub fn context(&self) -> AcqContext<'a> {
+        AcqContext::with_specan(self.chip, self.specan.clone())
     }
 
     /// Acquires `n_records` consecutive records from `sensor` while the
@@ -97,52 +469,10 @@ impl<'a> Acquisition<'a> {
         n_records: usize,
         record_cycles: usize,
     ) -> Result<TraceSet, CoreError> {
-        if n_records == 0 {
-            return Err(CoreError::InvalidParameter {
-                what: "record count must be at least 1",
-            });
-        }
-        if record_cycles == 0 {
-            return Err(CoreError::InvalidParameter {
-                what: "record length must be at least 1 cycle",
-            });
-        }
-        let fs = calib::sample_rate_hz();
-        let couplings = self.chip.couplings_for(sensor)?;
-        let noise_vrms =
-            self.chip
-                .sensor_noise_vrms(sensor, fs / 2.0, scenario.vdd, scenario.temp_c);
-        let frontend = frontend_for(sensor, scenario.seed ^ 0xFE);
-
-        let mut sim = ActivitySimulator::new(scenario.chip_config());
-        if scenario.warmup_cycles > 0 {
-            let _ = sim.advance(scenario.warmup_cycles);
-        }
-
-        let mut records = Vec::with_capacity(n_records);
-        for rec_idx in 0..n_records {
-            let trace = sim.advance(record_cycles);
-            let currents = psa_gatesim::current::trace_to_currents(
-                &trace,
-                self.chip.charges_fc(),
-                calib::CLK_HZ,
-            );
-            // Pair each source's current with its coupling (both follow
-            // Source::ALL order).
-            let pairs: Vec<(&[f64], f64)> = currents
-                .iter()
-                .zip(&couplings)
-                .map(|((_, wave), &k)| (wave.as_slice(), k))
-                .collect();
-            let emf = induced_emf(&pairs, calib::EFFECTIVE_MOMENT_AREA_M2, fs)?;
-            let digitized = frontend.capture_record(&emf, fs, noise_vrms, rec_idx as u64)?;
-            records.push(digitized);
-        }
-        Ok(TraceSet {
-            records,
-            fs_hz: fs,
-            sensor,
-        })
+        let mut out = TraceSet::default();
+        self.context()
+            .acquire_len_into(scenario, sensor, n_records, record_cycles, &mut out)?;
+        Ok(out)
     }
 
     /// Renders the averaged 2000-point spectrum (dB) of a trace set —
@@ -152,9 +482,7 @@ impl<'a> Acquisition<'a> {
     ///
     /// Propagates spectrum errors for empty trace sets.
     pub fn spectrum_db(&self, traces: &TraceSet) -> Result<Vec<f64>, CoreError> {
-        Ok(self
-            .specan
-            .averaged_trace_db(&traces.records, traces.fs_hz)?)
+        self.context().spectrum_db(traces)
     }
 
     /// Convenience: acquire and render the averaged spectrum in one
@@ -169,8 +497,7 @@ impl<'a> Acquisition<'a> {
         scenario: &Scenario,
         sensor: SensorSelect,
     ) -> Result<Vec<f64>, CoreError> {
-        let traces = self.acquire(scenario, sensor, calib::TRACES_PER_SPECTRUM)?;
-        self.spectrum_db(&traces)
+        self.context().averaged_spectrum_db(scenario, sensor)
     }
 
     /// Full-FFT-resolution averaged amplitude spectrum in dB (one value
@@ -182,19 +509,7 @@ impl<'a> Acquisition<'a> {
     ///
     /// Propagates spectrum errors for empty trace sets.
     pub fn fullres_spectrum_db(&self, traces: &TraceSet) -> Result<Vec<f64>, CoreError> {
-        use psa_dsp::spectrum;
-        if traces.records.is_empty() {
-            return Err(CoreError::InvalidParameter {
-                what: "trace set is empty",
-            });
-        }
-        let linear: Vec<Vec<f64>> = traces
-            .records
-            .iter()
-            .map(|r| spectrum::try_amplitude_spectrum(r, psa_dsp::window::Window::Hann))
-            .collect::<Result<_, _>>()?;
-        let avg = spectrum::average_traces(&linear)?;
-        Ok(avg.into_iter().map(spectrum::amplitude_db).collect())
+        self.context().fullres_spectrum_db(traces)
     }
 
     /// Frequency of full-resolution bin `k` for the standard record
@@ -224,11 +539,8 @@ impl<'a> Acquisition<'a> {
         center_hz: f64,
         n_records: usize,
     ) -> Result<Vec<f64>, CoreError> {
-        let traces = self.acquire(scenario, sensor, n_records)?;
-        let signal = traces.concatenated();
-        Ok(self
-            .specan
-            .zero_span_trace(&signal, traces.fs_hz, center_hz)?)
+        self.context()
+            .zero_span(scenario, sensor, center_hz, n_records)
     }
 
     /// Zero-span with explicit resolution bandwidth (identification uses
@@ -246,11 +558,8 @@ impl<'a> Acquisition<'a> {
         rbw_hz: f64,
         n_records: usize,
     ) -> Result<Vec<f64>, CoreError> {
-        let traces = self.acquire(scenario, sensor, n_records)?;
-        let signal = traces.concatenated();
-        Ok(self
-            .specan
-            .zero_span_trace_rbw(&signal, traces.fs_hz, center_hz, rbw_hz)?)
+        self.context()
+            .zero_span_rbw(scenario, sensor, center_hz, rbw_hz, n_records)
     }
 }
 
@@ -299,6 +608,7 @@ mod tests {
             t.concatenated().len(),
             3 * calib::RECORD_CYCLES * calib::SAMPLES_PER_CYCLE
         );
+        assert_eq!(t.num_samples(), t.concatenated().len());
     }
 
     #[test]
@@ -310,6 +620,23 @@ mod tests {
     }
 
     #[test]
+    fn trace_set_views_match_concatenation() {
+        let t = TraceSet {
+            records: vec![vec![1.0, -2.0], vec![3.0], vec![], vec![0.5, 0.5]],
+            fs_hz: 1.0,
+            sensor: SensorSelect::Psa(0),
+        };
+        let cat = t.concatenated();
+        assert_eq!(t.samples().collect::<Vec<_>>(), cat);
+        let mut buf = vec![9.0; 100];
+        t.concat_into(&mut buf);
+        assert_eq!(buf, cat);
+        let rms_cat = (cat.iter().map(|v| v * v).sum::<f64>() / cat.len() as f64).sqrt();
+        assert_eq!(t.rms().to_bits(), rms_cat.to_bits());
+        assert_eq!(TraceSet::default().rms(), 0.0);
+    }
+
+    #[test]
     fn signal_beats_noise_on_sensor10() {
         let acq = Acquisition::new(chip());
         let sig = acq
@@ -318,11 +645,7 @@ mod tests {
         let noise = acq
             .acquire(&Scenario::noise(), SensorSelect::Psa(10), 2)
             .unwrap();
-        let rms = |t: &TraceSet| {
-            let all = t.concatenated();
-            (all.iter().map(|v| v * v).sum::<f64>() / all.len() as f64).sqrt()
-        };
-        let snr = 20.0 * (rms(&sig) / rms(&noise)).log10();
+        let snr = 20.0 * (sig.rms() / noise.rms()).log10();
         assert!(snr > 20.0, "snr {snr} dB");
     }
 
@@ -397,5 +720,61 @@ mod tests {
         let a = acq.acquire(&s, SensorSelect::Psa(5), 2).unwrap();
         let b = acq.acquire(&s, SensorSelect::Psa(5), 2).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn context_reuse_matches_fresh_engine_bitwise() {
+        // One context, several different acquisitions in sequence: every
+        // result must be byte-identical to a fresh stateless run — the
+        // parallel-equivalence contract.
+        let acq = Acquisition::new(chip());
+        let mut ctx = acq.context();
+        let scenarios = [
+            (Scenario::baseline().with_seed(5), SensorSelect::Psa(10)),
+            (
+                Scenario::trojan_active(TrojanKind::T1).with_seed(6),
+                SensorSelect::Psa(3),
+            ),
+            (Scenario::noise().with_seed(7), SensorSelect::SingleCoil),
+        ];
+        let mut reused = TraceSet::default();
+        for (scenario, sensor) in &scenarios {
+            ctx.acquire_into(scenario, *sensor, 2, &mut reused).unwrap();
+            let fresh = acq.acquire(scenario, *sensor, 2).unwrap();
+            assert_eq!(reused, fresh);
+            let spec_ctx = ctx.fullres_spectrum_db(&reused).unwrap();
+            let spec_fresh = acq.fullres_spectrum_db(&fresh).unwrap();
+            assert!(spec_ctx
+                .iter()
+                .zip(&spec_fresh)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            let disp_ctx = ctx.spectrum_db(&reused).unwrap();
+            let disp_fresh = acq.spectrum_db(&fresh).unwrap();
+            assert!(disp_ctx
+                .iter()
+                .zip(&disp_fresh)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+            // The one-call hot path (internal trace-slot reuse) matches
+            // the two-call path bit-for-bit too.
+            let combined = ctx
+                .acquire_fullres_spectrum_db(scenario, *sensor, 2)
+                .unwrap();
+            assert!(combined
+                .iter()
+                .zip(&spec_fresh)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn context_types_are_thread_shareable() {
+        fn assert_sync<T: Sync>() {}
+        fn assert_send<T: Send>() {}
+        // The campaign engine shares one chip across workers and gives
+        // each worker an owned context.
+        assert_sync::<TestChip>();
+        assert_sync::<Acquisition<'_>>();
+        assert_send::<AcqContext<'_>>();
+        assert_send::<TraceSet>();
     }
 }

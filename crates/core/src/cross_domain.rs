@@ -15,7 +15,7 @@
 //!    emergent frequency and classify the recovered envelope to
 //!    *identify* which Trojan is active (Fig 5).
 
-use crate::acquisition::Acquisition;
+use crate::acquisition::{AcqContext, TraceSet};
 use crate::calib;
 use crate::chip::{SensorSelect, TestChip};
 use crate::error::CoreError;
@@ -140,22 +140,43 @@ impl<'a> CrossDomainAnalyzer<'a> {
     /// Never panics; acquisition failures cannot occur for the built-in
     /// 16-sensor bank (indices are in range by construction).
     pub fn learn_baseline(&self, seed: u64) -> Baseline {
-        let acq = Acquisition::new(self.chip);
-        let scenario = Scenario::baseline().with_seed(seed);
+        self.learn_baseline_with(&mut AcqContext::new(self.chip), seed)
+    }
+
+    /// [`learn_baseline`](Self::learn_baseline) on a reusable per-worker
+    /// context. Each sensor's spectrum depends only on `(seed, sensor)`,
+    /// so the campaign engine can also fan the 16 sensors out across
+    /// workers and reassemble an identical [`Baseline`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`learn_baseline`](Self::learn_baseline).
+    pub fn learn_baseline_with(&self, ctx: &mut AcqContext<'_>, seed: u64) -> Baseline {
         let per_sensor_db = (0..self.chip.sensor_bank().len())
-            .map(|i| {
-                let traces = acq
-                    .acquire(
-                        &scenario,
-                        SensorSelect::Psa(i),
-                        self.config.traces_per_sensor,
-                    )
-                    .expect("built-in sensors are valid");
-                acq.fullres_spectrum_db(&traces)
-                    .expect("non-empty trace sets")
-            })
+            .map(|i| self.baseline_sensor_db_with(ctx, seed, i))
             .collect();
         Baseline { per_sensor_db }
+    }
+
+    /// One sensor's learned-baseline spectrum (the per-job unit of the
+    /// parallel baseline learning).
+    ///
+    /// # Panics
+    ///
+    /// Never on built-in sensor indices (`i < 16`).
+    pub fn baseline_sensor_db_with(
+        &self,
+        ctx: &mut AcqContext<'_>,
+        seed: u64,
+        sensor: usize,
+    ) -> Vec<f64> {
+        let scenario = Scenario::baseline().with_seed(seed);
+        ctx.acquire_fullres_spectrum_db(
+            &scenario,
+            SensorSelect::Psa(sensor),
+            self.config.traces_per_sensor,
+        )
+        .expect("built-in sensors are valid")
     }
 
     /// Runs the full cross-domain pipeline on a scenario.
@@ -164,8 +185,21 @@ impl<'a> CrossDomainAnalyzer<'a> {
     ///
     /// Propagates acquisition/DSP errors ([`CoreError`]).
     pub fn analyze(&self, scenario: &Scenario, baseline: &Baseline) -> Result<Verdict, CoreError> {
-        let acq = Acquisition::new(self.chip);
+        self.analyze_with(&mut AcqContext::new(self.chip), scenario, baseline)
+    }
 
+    /// [`analyze`](Self::analyze) on a reusable per-worker context (the
+    /// campaign engine's path). Bit-identical to [`analyze`](Self::analyze).
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition/DSP errors ([`CoreError`]).
+    pub fn analyze_with(
+        &self,
+        ctx: &mut AcqContext<'_>,
+        scenario: &Scenario,
+        baseline: &Baseline,
+    ) -> Result<Verdict, CoreError> {
         // Stage 1+2: frequency-domain sweep over all sensors, at full
         // FFT resolution (the detector's RBW). The comparison uses a
         // local-max envelope of the baseline so per-bin noise flicker
@@ -173,13 +207,15 @@ impl<'a> CrossDomainAnalyzer<'a> {
         let mut ranking = Vec::with_capacity(self.chip.sensor_bank().len());
         let mut spectra = Vec::with_capacity(self.chip.sensor_bank().len());
         let mut base_envs = Vec::with_capacity(self.chip.sensor_bank().len());
+        let mut traces = TraceSet::default();
         for i in 0..self.chip.sensor_bank().len() {
-            let traces = acq.acquire(
+            ctx.acquire_into(
                 scenario,
                 SensorSelect::Psa(i),
                 self.config.traces_per_sensor,
+                &mut traces,
             )?;
-            let spec = acq.fullres_spectrum_db(&traces)?;
+            let spec = ctx.fullres_spectrum_db(&traces)?;
             let base = baseline
                 .per_sensor_db
                 .get(i)
@@ -192,7 +228,7 @@ impl<'a> CrossDomainAnalyzer<'a> {
             let energy: f64 = merged.iter().map(|(_, e)| e).sum();
             let components: Vec<(f64, f64)> = merged
                 .iter()
-                .map(|&(bin, excess)| (acq.fullres_bin_hz(bin), excess))
+                .map(|&(bin, excess)| (ctx.fullres_bin_hz(bin), excess))
                 .collect();
             ranking.push(SensorAnomaly {
                 sensor: i,
@@ -239,7 +275,7 @@ impl<'a> CrossDomainAnalyzer<'a> {
             .min_by(|a, b| (a.0 - 48.0e6).abs().total_cmp(&(b.0 - 48.0e6).abs()))
             .map(|&(f, _)| f)
             .unwrap_or(strongest.0);
-        let line_bin = acq.fullres_freq_bin(prominent);
+        let line_bin = ctx.fullres_freq_bin(prominent);
 
         // Localization: rank sensors by the *absolute* emergent
         // amplitude at the common line — the sensor with the strongest
@@ -272,8 +308,8 @@ impl<'a> CrossDomainAnalyzer<'a> {
 
         // Stage 3: cross-domain identification on the localized sensor —
         // spectral context of the line plus its zero-span envelope.
-        let signature = identify::signature_from_parts(
-            &acq,
+        let signature = identify::signature_from_parts_with(
+            ctx,
             scenario,
             top_sensor,
             prominent,

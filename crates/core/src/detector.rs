@@ -12,7 +12,7 @@
 //!   injected-carrier spectra with PCA + K-means and call a detection
 //!   when the clusters separate.
 
-use crate::acquisition::Acquisition;
+use crate::acquisition::{AcqContext, TraceSet};
 use crate::chip::{SensorSelect, TestChip};
 use crate::cross_domain::{Baseline, CrossDomainAnalyzer};
 use crate::error::CoreError;
@@ -38,7 +38,12 @@ pub struct DetectionOutcome {
 }
 
 /// A Trojan detector operating on the simulated chip.
-pub trait Detector {
+///
+/// Detectors are `Send + Sync` (plain configuration plus learned
+/// baselines) so the campaign engine can share one instance across its
+/// worker threads; each worker passes its own [`AcqContext`] to
+/// [`detect_with`](Self::detect_with).
+pub trait Detector: Send + Sync {
     /// Human-readable method name (Table I column header).
     fn name(&self) -> &'static str;
 
@@ -50,7 +55,23 @@ pub trait Detector {
     /// # Errors
     ///
     /// Propagates acquisition/analysis errors ([`CoreError`]).
-    fn detect(&self, chip: &TestChip, scenario: &Scenario) -> Result<DetectionOutcome, CoreError>;
+    fn detect(&self, chip: &TestChip, scenario: &Scenario) -> Result<DetectionOutcome, CoreError> {
+        self.detect_with(&mut AcqContext::new(chip), scenario)
+    }
+
+    /// Runs one detection attempt on a reusable per-worker context.
+    /// Must be deterministic in `scenario` alone (never in context
+    /// history) — the parallel campaign equivalence guarantee relies on
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition/analysis errors ([`CoreError`]).
+    fn detect_with(
+        &self,
+        ctx: &mut AcqContext<'_>,
+        scenario: &Scenario,
+    ) -> Result<DetectionOutcome, CoreError>;
 }
 
 /// The paper's cross-domain PSA detector.
@@ -68,6 +89,12 @@ impl CrossDomainDetector {
         }
     }
 
+    /// Wraps an already-learned baseline (e.g. one the campaign engine
+    /// learned in parallel across sensors).
+    pub fn with_baseline(baseline: Baseline) -> Self {
+        CrossDomainDetector { baseline }
+    }
+
     /// Access to the learned baseline.
     pub fn baseline(&self) -> &Baseline {
         &self.baseline
@@ -83,9 +110,13 @@ impl Detector for CrossDomainDetector {
         true
     }
 
-    fn detect(&self, chip: &TestChip, scenario: &Scenario) -> Result<DetectionOutcome, CoreError> {
-        let analyzer = CrossDomainAnalyzer::new(chip);
-        let verdict = analyzer.analyze(scenario, &self.baseline)?;
+    fn detect_with(
+        &self,
+        ctx: &mut AcqContext<'_>,
+        scenario: &Scenario,
+    ) -> Result<DetectionOutcome, CoreError> {
+        let analyzer = CrossDomainAnalyzer::new(ctx.chip());
+        let verdict = analyzer.analyze_with(ctx, scenario, &self.baseline)?;
         Ok(DetectionOutcome {
             detected: verdict.detected,
             // Detection itself needs only the monitored sensor's traces
@@ -153,8 +184,11 @@ impl Detector for EuclideanDetector {
         false
     }
 
-    fn detect(&self, chip: &TestChip, scenario: &Scenario) -> Result<DetectionOutcome, CoreError> {
-        let acq = Acquisition::new(chip);
+    fn detect_with(
+        &self,
+        ctx: &mut AcqContext<'_>,
+        scenario: &Scenario,
+    ) -> Result<DetectionOutcome, CoreError> {
         // Reference: same chip with Trojans dormant (their golden-model
         // assumption translated to our run-time setting).
         let reference = Scenario {
@@ -170,21 +204,24 @@ impl Detector for EuclideanDetector {
         // Euclidean distance between traces or explore the Euclidean
         // distance distributions" — per-trace distributions, which is why
         // they need so many traces at low SNR.
+        let mut traces = TraceSet::default();
         for i in 0..self.traces_per_side {
-            let r = acq.acquire_len(
+            ctx.acquire_len_into(
                 &reference.clone().with_seed(reference.seed + i as u64),
                 self.sensor,
                 1,
                 self.record_cycles,
+                &mut traces,
             )?;
-            ref_spectra.push(linear_spectrum(&acq, &r)?);
-            let t = acq.acquire_len(
+            ref_spectra.push(linear_spectrum(ctx, &traces)?);
+            ctx.acquire_len_into(
                 &scenario.clone().with_seed(scenario.seed + i as u64),
                 self.sensor,
                 1,
                 self.record_cycles,
+                &mut traces,
             )?;
-            test_spectra.push(linear_spectrum(&acq, &t)?);
+            test_spectra.push(linear_spectrum(ctx, &traces)?);
         }
         let ref_mean = spectrum::average_traces(&ref_spectra)?;
 
@@ -214,11 +251,8 @@ impl Detector for EuclideanDetector {
     }
 }
 
-fn linear_spectrum(
-    acq: &Acquisition<'_>,
-    traces: &crate::acquisition::TraceSet,
-) -> Result<Vec<f64>, CoreError> {
-    let db = acq.spectrum_db(traces)?;
+fn linear_spectrum(ctx: &mut AcqContext<'_>, traces: &TraceSet) -> Result<Vec<f64>, CoreError> {
+    let db = ctx.spectrum_db(traces)?;
     Ok(db.into_iter().map(spectrum::db_to_amplitude).collect())
 }
 
@@ -319,7 +353,12 @@ impl Detector for BackscatterDetector {
         false
     }
 
-    fn detect(&self, chip: &TestChip, scenario: &Scenario) -> Result<DetectionOutcome, CoreError> {
+    fn detect_with(
+        &self,
+        ctx: &mut AcqContext<'_>,
+        scenario: &Scenario,
+    ) -> Result<DetectionOutcome, CoreError> {
+        let chip = ctx.chip();
         let reference = Scenario {
             trojan: None,
             extra_trojans: Vec::new(),

@@ -363,16 +363,40 @@ pub fn signature_from_parts(
     spec_db: &[f64],
     baseline_env_db: &[f64],
 ) -> Result<TrojanSignature, CoreError> {
+    signature_from_parts_with(
+        &mut acq.context(),
+        scenario,
+        sensor,
+        line_freq_hz,
+        spec_db,
+        baseline_env_db,
+    )
+}
+
+/// [`signature_from_parts`] on a reusable per-worker
+/// [`AcqContext`](crate::acquisition::AcqContext) (the engine's path).
+///
+/// # Errors
+///
+/// Propagates acquisition/DSP errors.
+pub fn signature_from_parts_with(
+    ctx: &mut crate::acquisition::AcqContext<'_>,
+    scenario: &crate::scenario::Scenario,
+    sensor: usize,
+    line_freq_hz: f64,
+    spec_db: &[f64],
+    baseline_env_db: &[f64],
+) -> Result<TrojanSignature, CoreError> {
     use crate::chip::SensorSelect;
     let n = spec_db.len().min(baseline_env_db.len());
     let excess: Vec<f64> = (0..n).map(|k| spec_db[k] - baseline_env_db[k]).collect();
-    let line_bin = acq.fullres_freq_bin(line_freq_hz);
+    let line_bin = ctx.fullres_freq_bin(line_freq_hz);
     let fft_len = crate::calib::RECORD_CYCLES * crate::calib::SAMPLES_PER_CYCLE;
     let df = crate::calib::sample_rate_hz() / fft_len as f64;
     let (satellite_offset_mhz, pedestal_width_mhz) =
         spectral_context(&excess, line_bin.min(n.saturating_sub(1)), df);
 
-    let envelope = acq.zero_span_rbw(
+    let envelope = ctx.zero_span_rbw(
         scenario,
         SensorSelect::Psa(sensor),
         line_freq_hz,

@@ -8,7 +8,7 @@
 //! than ten traces in under 10 ms; baseline methods need 100–10 000
 //! traces and correspondingly longer.
 
-use crate::acquisition::Acquisition;
+use crate::acquisition::{AcqContext, TraceSet};
 use crate::calib;
 use crate::chip::{SensorSelect, TestChip};
 use crate::cross_domain::Baseline;
@@ -71,7 +71,31 @@ pub fn mttd_trial(
     timing: &MonitorTiming,
     max_traces: usize,
 ) -> Result<MttdResult, CoreError> {
-    let acq = Acquisition::new(chip);
+    mttd_trial_with(
+        &mut AcqContext::new(chip),
+        scenario,
+        baseline,
+        sensor,
+        timing,
+        max_traces,
+    )
+}
+
+/// [`mttd_trial`] on a reusable per-worker context (the campaign
+/// engine's path): the monitor's rolling record window shuffles buffers
+/// instead of cloning them. Bit-identical to [`mttd_trial`].
+///
+/// # Errors
+///
+/// Propagates acquisition errors.
+pub fn mttd_trial_with(
+    ctx: &mut AcqContext<'_>,
+    scenario: &Scenario,
+    baseline: &Baseline,
+    sensor: usize,
+    timing: &MonitorTiming,
+    max_traces: usize,
+) -> Result<MttdResult, CoreError> {
     let base = baseline
         .per_sensor_db
         .get(sensor)
@@ -82,28 +106,30 @@ pub fn mttd_trial(
     // beat the local worst case of the learned baseline.
     let base_env = peak::local_max_envelope(base, 8);
 
-    let mut window: Vec<Vec<f64>> = Vec::new();
+    let mut fresh = TraceSet::default();
+    let mut window = TraceSet::default();
     let mut elapsed = 0.0;
     for trace_idx in 0..max_traces {
         // Acquire one fresh record (the simulator runs on from the
         // activation instant).
-        let traces = acq.acquire(
+        ctx.acquire_into(
             &scenario.clone().with_seed(scenario.seed + trace_idx as u64),
             SensorSelect::Psa(sensor),
             1,
+            &mut fresh,
         )?;
         elapsed += timing.acquisition_s;
 
-        window.push(traces.records[0].clone());
-        if window.len() > calib::TRACES_PER_SPECTRUM {
-            window.remove(0);
+        // Rolling averaging window: move the new record in; recycle the
+        // evicted record's buffer for the next acquisition.
+        window.fs_hz = fresh.fs_hz;
+        window.sensor = fresh.sensor;
+        window.records.push(std::mem::take(&mut fresh.records[0]));
+        if window.records.len() > calib::TRACES_PER_SPECTRUM {
+            let evicted = window.records.remove(0);
+            fresh.records[0] = evicted;
         }
-        let set = crate::acquisition::TraceSet {
-            records: window.clone(),
-            fs_hz: traces.fs_hz,
-            sensor: traces.sensor,
-        };
-        let spec = acq.fullres_spectrum_db(&set)?;
+        let spec = ctx.fullres_spectrum_db(&window)?;
         elapsed += timing.processing_s;
 
         let hits = peak::excess_over_baseline_db(&spec, &base_env, calib::DETECTION_THRESHOLD_DB);

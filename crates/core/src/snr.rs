@@ -11,7 +11,6 @@ use crate::acquisition::Acquisition;
 use crate::chip::{SensorSelect, TestChip};
 use crate::error::CoreError;
 use crate::scenario::Scenario;
-use psa_dsp::stats;
 
 /// One SNR measurement row.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,14 +38,38 @@ pub fn measure_snr(
     n_records: usize,
     seed: u64,
 ) -> Result<SnrMeasurement, CoreError> {
-    let acq = Acquisition::new(chip);
+    measure_snr_with(
+        &mut Acquisition::new(chip).context(),
+        sensor,
+        n_records,
+        seed,
+    )
+}
+
+/// [`measure_snr`] on a reusable per-worker context (the campaign
+/// engine's path). Bit-identical to [`measure_snr`].
+///
+/// # Errors
+///
+/// Propagates acquisition errors.
+pub fn measure_snr_with(
+    ctx: &mut crate::acquisition::AcqContext<'_>,
+    sensor: SensorSelect,
+    n_records: usize,
+    seed: u64,
+) -> Result<SnrMeasurement, CoreError> {
     let signal_scenario = Scenario::baseline().with_seed(seed);
     let noise_scenario = Scenario::noise().with_seed(seed.wrapping_add(1));
-    let signal = acq.acquire(&signal_scenario, sensor, n_records)?;
-    let noise = acq.acquire(&noise_scenario, sensor, n_records)?;
-    let s = stats::rms(&signal.concatenated());
-    let n = stats::rms(&noise.concatenated());
-    let snr_db = stats::snr_db(&signal.concatenated(), &noise.concatenated())?;
+    let signal = ctx.acquire(&signal_scenario, sensor, n_records)?;
+    let noise = ctx.acquire(&noise_scenario, sensor, n_records)?;
+    // TraceSet::rms matches stats::rms over the concatenation exactly,
+    // without materializing the multi-megabyte concatenated copies.
+    let s = signal.rms();
+    let n = noise.rms();
+    if n <= 0.0 {
+        return Err(psa_dsp::DspError::NonPositive { what: "noise rms" }.into());
+    }
+    let snr_db = 20.0 * (s / n).log10();
     Ok(SnrMeasurement {
         sensor,
         label: label_of(sensor),

@@ -1,0 +1,399 @@
+//! Batched spectral analysis: plan-once, run-many FFT and spectrum
+//! kernels for the acquisition → detection hot path.
+//!
+//! The campaign engine (`psa-runtime`) re-runs the same 65 536-point
+//! windowed FFT thousands of times per sweep. The free functions in
+//! [`crate::spectrum`] recompute window coefficients and twiddle factors
+//! and reallocate every buffer on every call; this module hoists all of
+//! that into reusable state:
+//!
+//! * [`FftPlan`] — an iterative radix-2 FFT with the per-stage twiddle
+//!   tables precomputed once. Its butterflies execute the *same*
+//!   floating-point operations in the *same* order as [`crate::fft::fft`],
+//!   so planned and ad-hoc transforms are **bit-identical** — the
+//!   property the parallel/serial equivalence guarantee rests on.
+//! * [`SpectrumScratch`] — a per-worker context caching the window
+//!   coefficients, coherent gain, FFT plan, and every intermediate
+//!   buffer for amplitude-spectrum and trace-averaging pipelines.
+//!
+//! Outputs are bit-identical to the corresponding one-shot functions
+//! ([`crate::spectrum::try_amplitude_spectrum`],
+//! [`crate::spectrum::average_traces`]); tests assert exact equality.
+
+use crate::complex::Complex;
+use crate::error::DspError;
+use crate::fft;
+use crate::spectrum;
+use crate::window::Window;
+use std::f64::consts::PI;
+
+/// A precomputed radix-2 FFT of one fixed power-of-two length.
+///
+/// # Example
+///
+/// ```
+/// use psa_dsp::{batch::FftPlan, fft, Complex};
+/// let plan = FftPlan::new(8)?;
+/// let mut planned = vec![Complex::ONE; 8];
+/// let mut adhoc = planned.clone();
+/// plan.forward(&mut planned)?;
+/// fft::fft(&mut adhoc)?;
+/// assert_eq!(planned, adhoc); // bit-identical
+/// # Ok::<(), psa_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// Twiddle tables per butterfly stage (sizes 2, 4, …, n), stored
+    /// exactly as `fft::fft` computes them so results match bit-for-bit.
+    stage_twiddles: Vec<Vec<Complex>>,
+}
+
+impl FftPlan {
+    /// Plans a forward FFT of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] unless `n` is a nonzero power
+    /// of two.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if !fft::is_power_of_two(n) {
+            return Err(DspError::InvalidLength {
+                what: "fft plan size (must be a power of two)",
+                got: n,
+            });
+        }
+        let mut stage_twiddles = Vec::new();
+        let mut size = 2;
+        while size <= n {
+            let half = size / 2;
+            let step = -2.0 * PI / size as f64;
+            stage_twiddles.push((0..half).map(|k| Complex::cis(step * k as f64)).collect());
+            size *= 2;
+        }
+        Ok(FftPlan { n, stage_twiddles })
+    }
+
+    /// The planned transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`: [`FftPlan::new`] rejects length 0, so every
+    /// constructible plan has at least one point (provided for API
+    /// completeness alongside [`len`](Self::len)).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward FFT using the precomputed twiddles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::InvalidLength`] when `data.len()` differs from
+    /// the planned length.
+    pub fn forward(&self, data: &mut [Complex]) -> Result<(), DspError> {
+        let n = self.n;
+        if data.len() != n {
+            return Err(DspError::InvalidLength {
+                what: "fft plan input (length must match the plan)",
+                got: data.len(),
+            });
+        }
+        if n == 1 {
+            return Ok(());
+        }
+
+        // Bit-reversal permutation (identical to `fft::fft`).
+        let levels = n.trailing_zeros();
+        for i in 0..n {
+            let j = (i.reverse_bits() >> (usize::BITS - levels)) & (n - 1);
+            if j > i {
+                data.swap(i, j);
+            }
+        }
+
+        // Iterative butterflies with the cached twiddles.
+        let mut size = 2;
+        let mut stage = 0;
+        while size <= n {
+            let half = size / 2;
+            let twiddles = &self.stage_twiddles[stage];
+            for start in (0..n).step_by(size) {
+                for k in 0..half {
+                    let even = data[start + k];
+                    let odd = data[start + k + half] * twiddles[k];
+                    data[start + k] = even + odd;
+                    data[start + k + half] = even - odd;
+                }
+            }
+            size *= 2;
+            stage += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Reusable spectral-analysis scratch for one worker.
+///
+/// Owns every buffer the amplitude-spectrum pipeline needs (window
+/// coefficients, FFT plan, complex work buffer, averaging accumulator),
+/// sized lazily on first use and resized only when the record length or
+/// window changes. All outputs are bit-identical to the one-shot
+/// functions in [`crate::spectrum`].
+///
+/// # Example
+///
+/// ```
+/// use psa_dsp::{batch::SpectrumScratch, spectrum, window::Window};
+/// let signal: Vec<f64> = (0..256).map(|i| (i as f64 * 0.1).sin()).collect();
+/// let mut scratch = SpectrumScratch::new(Window::Hann);
+/// let batched = scratch.amplitude_spectrum(&signal)?.to_vec();
+/// assert_eq!(batched, spectrum::try_amplitude_spectrum(&signal, Window::Hann)?);
+/// # Ok::<(), psa_dsp::DspError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpectrumScratch {
+    window: Window,
+    n: usize,
+    coeffs: Vec<f64>,
+    coherent_gain: f64,
+    plan: Option<FftPlan>,
+    buf: Vec<Complex>,
+    amp: Vec<f64>,
+    acc: Vec<f64>,
+}
+
+impl SpectrumScratch {
+    /// Creates an empty scratch for `window`; buffers are sized on first
+    /// use.
+    pub fn new(window: Window) -> Self {
+        SpectrumScratch {
+            window,
+            n: 0,
+            coeffs: Vec::new(),
+            coherent_gain: 0.0,
+            plan: None,
+            buf: Vec::new(),
+            amp: Vec::new(),
+            acc: Vec::new(),
+        }
+    }
+
+    /// The analysis window in use.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// (Re)computes the cached window/plan state for length `n`.
+    fn ensure(&mut self, n: usize) -> Result<(), DspError> {
+        if self.n == n {
+            return Ok(());
+        }
+        self.coeffs = self.window.coefficients(n);
+        self.coherent_gain = self.window.coherent_gain(n);
+        self.plan = if fft::is_power_of_two(n) {
+            Some(FftPlan::new(n)?)
+        } else {
+            None
+        };
+        self.n = n;
+        Ok(())
+    }
+
+    /// One-sided amplitude spectrum of `signal`, borrowed from the
+    /// internal buffer (valid until the next call). Bit-identical to
+    /// [`spectrum::try_amplitude_spectrum`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] when `signal` is empty.
+    pub fn amplitude_spectrum(&mut self, signal: &[f64]) -> Result<&[f64], DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        let n = signal.len();
+        self.ensure(n)?;
+
+        let spec_half = fft::one_sided_len(n);
+        if let Some(plan) = &self.plan {
+            // Window while loading the complex work buffer: the products
+            // are the same `signal[i] * w[i]` the one-shot path computes.
+            self.buf.clear();
+            self.buf.extend(
+                signal
+                    .iter()
+                    .zip(&self.coeffs)
+                    .map(|(&x, &w)| Complex::new(x * w, 0.0)),
+            );
+            plan.forward(&mut self.buf)?;
+        } else {
+            // Non-power-of-two records fall back to the Bluestein path
+            // (allocating; no campaign record length hits this).
+            let windowed: Vec<f64> = signal
+                .iter()
+                .zip(&self.coeffs)
+                .map(|(&x, &w)| x * w)
+                .collect();
+            self.buf = fft::rfft(&windowed)?;
+        }
+
+        let scale = 2.0 / (n as f64 * self.coherent_gain);
+        self.amp.clear();
+        self.amp.reserve(spec_half);
+        for (k, z) in self.buf.iter().take(spec_half).enumerate() {
+            let s = if k == 0 || (n % 2 == 0 && k == spec_half - 1) {
+                scale / 2.0
+            } else {
+                scale
+            };
+            self.amp.push(z.abs() * s);
+        }
+        Ok(&self.amp)
+    }
+
+    /// Averaged one-sided amplitude spectrum over `records`, converted to
+    /// dB — the acquisition hot path's full-resolution detector spectrum.
+    /// Bit-identical to mapping [`spectrum::try_amplitude_spectrum`] over
+    /// the records, [`spectrum::average_traces`], and
+    /// [`spectrum::amplitude_db`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] when `records` is empty (or any
+    /// record is), and [`DspError::InvalidLength`] when records have
+    /// differing lengths.
+    pub fn averaged_spectrum_db(&mut self, records: &[Vec<f64>]) -> Result<Vec<f64>, DspError> {
+        let first = records.first().ok_or(DspError::EmptyInput)?;
+        let n = first.len();
+        let half = fft::one_sided_len(n);
+        self.acc.clear();
+        self.acc.resize(half, 0.0);
+        // Swap the accumulator out so `amplitude_spectrum` can borrow
+        // `self` mutably inside the loop.
+        let mut acc = std::mem::take(&mut self.acc);
+        for r in records {
+            if r.len() != n {
+                self.acc = acc;
+                return Err(DspError::InvalidLength {
+                    what: "trace length (all traces must match)",
+                    got: r.len(),
+                });
+            }
+            let amp = self.amplitude_spectrum(r)?;
+            for (a, v) in acc.iter_mut().zip(amp) {
+                *a += v;
+            }
+        }
+        let k = records.len() as f64;
+        let out: Vec<f64> = acc.iter().map(|a| spectrum::amplitude_db(a / k)).collect();
+        self.acc = acc;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn signal(n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (i as f64 * 0.11).sin() * (i as f64 * 0.037).cos() + 0.2)
+            .collect()
+    }
+
+    #[test]
+    fn plan_matches_adhoc_fft_bitwise() {
+        for n in [1usize, 2, 8, 64, 1024] {
+            let plan = FftPlan::new(n).unwrap();
+            assert_eq!(plan.len(), n);
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+                .collect();
+            let mut planned = x.clone();
+            let mut adhoc = x;
+            plan.forward(&mut planned).unwrap();
+            fft::fft(&mut adhoc).unwrap();
+            for (a, b) in planned.iter().zip(&adhoc) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn plan_rejects_bad_lengths() {
+        assert!(FftPlan::new(0).is_err());
+        assert!(FftPlan::new(12).is_err());
+        let plan = FftPlan::new(8).unwrap();
+        let mut short = vec![Complex::ZERO; 4];
+        assert!(plan.forward(&mut short).is_err());
+    }
+
+    #[test]
+    fn scratch_matches_oneshot_spectrum_bitwise() {
+        for window in [Window::Hann, Window::FlatTop, Window::Rectangular] {
+            let mut scratch = SpectrumScratch::new(window);
+            for n in [256usize, 255, 4096] {
+                let x = signal(n);
+                let batched = scratch.amplitude_spectrum(&x).unwrap().to_vec();
+                let oneshot = spectrum::try_amplitude_spectrum(&x, window).unwrap();
+                assert_eq!(batched.len(), oneshot.len());
+                for (a, b) in batched.iter().zip(&oneshot) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{window} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_history_independent() {
+        // A worker context must give the same answer regardless of what
+        // it processed before — the parallel-equivalence contract.
+        let x = signal(512);
+        let y = signal(1024);
+        let mut fresh = SpectrumScratch::new(Window::Hann);
+        let expected = fresh.amplitude_spectrum(&x).unwrap().to_vec();
+        let mut used = SpectrumScratch::new(Window::Hann);
+        used.amplitude_spectrum(&y).unwrap();
+        used.averaged_spectrum_db(&[y.clone(), y]).unwrap();
+        let got = used.amplitude_spectrum(&x).unwrap().to_vec();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn averaged_db_matches_oneshot_pipeline_bitwise() {
+        let records: Vec<Vec<f64>> = (0..4)
+            .map(|k| {
+                let mut r = signal(1024);
+                for v in &mut r {
+                    *v += k as f64 * 0.01;
+                }
+                r
+            })
+            .collect();
+        let mut scratch = SpectrumScratch::new(Window::Hann);
+        let batched = scratch.averaged_spectrum_db(&records).unwrap();
+        let linear: Vec<Vec<f64>> = records
+            .iter()
+            .map(|r| spectrum::try_amplitude_spectrum(r, Window::Hann).unwrap())
+            .collect();
+        let avg = spectrum::average_traces(&linear).unwrap();
+        let oneshot: Vec<f64> = avg.into_iter().map(spectrum::amplitude_db).collect();
+        assert_eq!(batched.len(), oneshot.len());
+        for (a, b) in batched.iter().zip(&oneshot) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn averaged_db_validates_input() {
+        let mut scratch = SpectrumScratch::new(Window::Hann);
+        assert!(scratch.averaged_spectrum_db(&[]).is_err());
+        assert!(scratch
+            .averaged_spectrum_db(&[vec![1.0; 8], vec![1.0; 16]])
+            .is_err());
+        // And the scratch stays usable after an error.
+        assert!(scratch.averaged_spectrum_db(&[vec![1.0; 8]]).is_ok());
+    }
+}

@@ -11,6 +11,9 @@
 //! * [`Complex`] — minimal complex arithmetic used throughout.
 //! * [`fft`] — iterative radix-2 FFT plus a Bluestein fallback for
 //!   arbitrary lengths, forward/inverse, and real-input helpers.
+//! * [`batch`] — plan-once/run-many FFT and spectrum kernels with
+//!   reusable scratch buffers for the campaign engine's hot path
+//!   (bit-identical to the one-shot functions).
 //! * [`window`] — Rectangular/Hann/Hamming/Blackman/Blackman-Harris/flat-top
 //!   analysis windows with gain bookkeeping.
 //! * [`spectrum`] — amplitude spectra, periodograms, Welch averaging, STFT,
@@ -50,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod complex;
 pub mod correlate;
 pub mod error;

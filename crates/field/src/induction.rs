@@ -16,20 +16,29 @@ pub const DEFAULT_LOOP_AREA_M2: f64 = 3.0e-12;
 /// Central-difference derivative of a series sampled at `fs_hz`.
 /// Endpoints use one-sided differences; output length equals input.
 pub fn derivative(x: &[f64], fs_hz: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    derivative_into(x, fs_hz, &mut out);
+    out
+}
+
+/// [`derivative`] into a caller-owned buffer (cleared first), so hot
+/// loops can reuse the allocation across records.
+pub fn derivative_into(x: &[f64], fs_hz: f64, out: &mut Vec<f64>) {
+    out.clear();
     let n = x.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     if n == 1 {
-        return vec![0.0];
+        out.push(0.0);
+        return;
     }
-    let mut out = Vec::with_capacity(n);
+    out.reserve(n);
     out.push((x[1] - x[0]) * fs_hz);
     for i in 1..n - 1 {
         out.push((x[i + 1] - x[i - 1]) * 0.5 * fs_hz);
     }
     out.push((x[n - 1] - x[n - 2]) * fs_hz);
-    out
 }
 
 /// Induced EMF from several sources into one sensor.
@@ -48,6 +57,29 @@ pub fn induced_emf(
     loop_area_m2: f64,
     fs_hz: f64,
 ) -> Result<Vec<f64>, FieldError> {
+    let mut flux = Vec::new();
+    let mut out = Vec::new();
+    induced_emf_into(sources, loop_area_m2, fs_hz, &mut flux, &mut out)?;
+    Ok(out)
+}
+
+/// [`induced_emf`] into caller-owned buffers.
+///
+/// `flux_scratch` holds the superposed flux waveform and `out` the EMF;
+/// both are cleared and refilled, so a per-worker acquisition context
+/// can run record after record without reallocating. Results are
+/// bit-identical to [`induced_emf`].
+///
+/// # Errors
+///
+/// Same as [`induced_emf`].
+pub fn induced_emf_into(
+    sources: &[(&[f64], f64)],
+    loop_area_m2: f64,
+    fs_hz: f64,
+    flux_scratch: &mut Vec<f64>,
+    out: &mut Vec<f64>,
+) -> Result<(), FieldError> {
     if sources.is_empty() {
         return Err(FieldError::InvalidParameter {
             what: "source list must be non-empty",
@@ -69,18 +101,19 @@ pub fn induced_emf(
     }
     // Superpose moments weighted by coupling first, then differentiate
     // once (linearity).
-    let mut flux = vec![0.0; n];
+    flux_scratch.clear();
+    flux_scratch.resize(n, 0.0);
     for (wave, k) in sources {
         let w = k * loop_area_m2;
-        for (f, &i) in flux.iter_mut().zip(wave.iter()) {
+        for (f, &i) in flux_scratch.iter_mut().zip(wave.iter()) {
             *f += w * i;
         }
     }
-    let mut v = derivative(&flux, fs_hz);
-    for vi in &mut v {
+    derivative_into(flux_scratch, fs_hz, out);
+    for vi in out.iter_mut() {
         *vi = -*vi;
     }
-    Ok(v)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -143,6 +176,25 @@ mod tests {
         for i in 0..64 {
             assert!((vab[i] - (va[i] + vb[i])).abs() < 1e-9 * (1.0 + vab[i].abs()));
         }
+    }
+
+    #[test]
+    fn into_variant_reuses_buffers_and_matches() {
+        let a: Vec<f64> = (0..128).map(|n| (n as f64 * 0.3).sin()).collect();
+        let b: Vec<f64> = (0..128).map(|n| (n as f64 * 0.7).cos()).collect();
+        let mut flux = vec![9.9; 5]; // stale contents must not leak through
+        let mut out = vec![7.7; 999];
+        induced_emf_into(
+            &[(&a, 1.0e-3), (&b, 0.5e-3)],
+            DEFAULT_LOOP_AREA_M2,
+            1.0e6,
+            &mut flux,
+            &mut out,
+        )
+        .unwrap();
+        let fresh =
+            induced_emf(&[(&a, 1.0e-3), (&b, 0.5e-3)], DEFAULT_LOOP_AREA_M2, 1.0e6).unwrap();
+        assert_eq!(out, fresh);
     }
 
     #[test]

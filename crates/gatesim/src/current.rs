@@ -39,16 +39,29 @@ pub fn toggles_to_current(
     charge_per_toggle_fc: f64,
     clk_hz: f64,
 ) -> Vec<f64> {
+    let mut out = Vec::new();
+    toggles_to_current_into(toggles_per_cycle, charge_per_toggle_fc, clk_hz, &mut out);
+    out
+}
+
+/// [`toggles_to_current`] into a caller-owned buffer (cleared first), so
+/// per-record synthesis in the acquisition hot path reuses allocations.
+pub fn toggles_to_current_into(
+    toggles_per_cycle: &[f64],
+    charge_per_toggle_fc: f64,
+    clk_hz: f64,
+    out: &mut Vec<f64>,
+) {
     let dt = 1.0 / (clk_hz * SAMPLES_PER_CYCLE as f64);
     let q_scale = charge_per_toggle_fc * 1.0e-15; // fC → C
-    let mut out = Vec::with_capacity(toggles_per_cycle.len() * SAMPLES_PER_CYCLE);
+    out.clear();
+    out.reserve(toggles_per_cycle.len() * SAMPLES_PER_CYCLE);
     for &toggles in toggles_per_cycle {
         let q_total = toggles * q_scale;
         for &shape in PULSE_SHAPE.iter() {
             out.push(q_total * shape / dt);
         }
     }
-    out
 }
 
 /// Current waveforms for every source of an [`ActivityTrace`], in the
@@ -61,17 +74,33 @@ pub fn trace_to_currents(
     charges_fc: &[(crate::activity::Source, f64)],
     clk_hz: f64,
 ) -> Vec<(crate::activity::Source, Vec<f64>)> {
-    trace
-        .per_source
-        .iter()
-        .map(|(&source, toggles)| {
-            let q = charges_fc
-                .iter()
-                .find(|(s, _)| *s == source)
-                .map_or(2.5, |(_, q)| *q);
-            (source, toggles_to_current(toggles, q, clk_hz))
-        })
-        .collect()
+    let mut out = Vec::new();
+    trace_to_currents_into(trace, charges_fc, clk_hz, &mut out);
+    out
+}
+
+/// [`trace_to_currents`] into a caller-owned buffer: the outer vector
+/// and every per-source waveform allocation are reused across records
+/// (each record synthesizes ~7 × 65 536 samples, several MB that the
+/// acquisition hot path would otherwise reallocate per record).
+pub fn trace_to_currents_into(
+    trace: &ActivityTrace,
+    charges_fc: &[(crate::activity::Source, f64)],
+    clk_hz: f64,
+    out: &mut Vec<(crate::activity::Source, Vec<f64>)>,
+) {
+    out.truncate(trace.per_source.len());
+    while out.len() < trace.per_source.len() {
+        out.push((crate::activity::Source::ALL[0], Vec::new()));
+    }
+    for (slot, (&source, toggles)) in out.iter_mut().zip(trace.per_source.iter()) {
+        let q = charges_fc
+            .iter()
+            .find(|(s, _)| *s == source)
+            .map_or(2.5, |(_, q)| *q);
+        slot.0 = source;
+        toggles_to_current_into(toggles, q, clk_hz, &mut slot.1);
+    }
 }
 
 /// Sample rate of the synthesized currents for a given clock.
