@@ -77,7 +77,7 @@ fn rbw_ablation() {
     // One long acquisition per condition (two engine jobs), re-analyzed
     // at different window lengths.
     let engine =
-        psa_runtime::Engine::from_args_and_env(&std::env::args().skip(1).collect::<Vec<String>>());
+        psa_bench::harness::engine_from_cli(&std::env::args().skip(1).collect::<Vec<String>>());
     let campaign = psa_runtime::Campaign::new(&chip, engine);
     let jobs = [
         psa_runtime::AcquireJob::new(Scenario::baseline(), SensorSelect::Psa(10), 5).with_seed(61),

@@ -1,0 +1,129 @@
+//! The CI bench-regression gate: fails when a fresh `BENCH_*.json`
+//! timing artifact regresses beyond a ratio of its committed seed.
+//!
+//! ```text
+//! bench_check <seed.json> <current.json> [--max-ratio R] [--min-seed-s S]
+//! ```
+//!
+//! Defaults: `R = 2.5` (loose enough for shared-runner jitter),
+//! `S = 0.05` (artifacts whose seed wall time is under 50 ms are noise
+//! and never gated). Exit status: 0 pass, 1 regression, 2 usage/parse
+//! error.
+
+use psa_bench::regress;
+
+const USAGE: &str =
+    "usage: bench_check <seed.json> <current.json> [--max-ratio R] [--min-seed-s S]";
+
+fn parse_f64(flag: &str, value: &str) -> Result<f64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("invalid {flag} value `{value}`"))
+}
+
+/// One pass over the arguments, consuming each flag's value so
+/// space-separated forms (`--max-ratio 3.0`) parse like `=` forms.
+fn parse_args(args: &[String]) -> Result<(String, String, f64, f64), String> {
+    let mut paths = Vec::new();
+    let mut max_ratio = 2.5;
+    let mut min_seed_s = 0.05;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut take = |flag: &str| -> Result<Option<f64>, String> {
+            if arg == flag {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("{flag} requires a value"))?;
+                return parse_f64(flag, value).map(Some);
+            }
+            match arg.strip_prefix(&format!("{flag}=")) {
+                Some(value) => parse_f64(flag, value).map(Some),
+                None => Ok(None),
+            }
+        };
+        if let Some(v) = take("--max-ratio")? {
+            max_ratio = v;
+        } else if let Some(v) = take("--min-seed-s")? {
+            min_seed_s = v;
+        } else if arg.starts_with('-') {
+            return Err(format!("unknown flag `{arg}`\n{USAGE}"));
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [seed_path, current_path] =
+        <[String; 2]>::try_from(paths).map_err(|_| USAGE.to_string())?;
+    Ok((seed_path, current_path, max_ratio, min_seed_s))
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (seed_path, current_path, max_ratio, min_seed_s) = parse_args(&args)?;
+    let (seed_path, current_path) = (&seed_path, &current_path);
+
+    let seed_text =
+        std::fs::read_to_string(seed_path).map_err(|e| format!("read {seed_path}: {e}"))?;
+    let current_text =
+        std::fs::read_to_string(current_path).map_err(|e| format!("read {current_path}: {e}"))?;
+    let seed = regress::parse_bench_json(&seed_text).map_err(|e| format!("{seed_path}: {e}"))?;
+    let current =
+        regress::parse_bench_json(&current_text).map_err(|e| format!("{current_path}: {e}"))?;
+
+    println!(
+        "bench_check: seed {seed_path} ({} workers) vs current {current_path} ({} workers), \
+         max-ratio {max_ratio}, noise floor {min_seed_s} s",
+        seed.workers.map_or("?".into(), |w| w.to_string()),
+        current.workers.map_or("?".into(), |w| w.to_string()),
+    );
+    let comparisons = regress::compare(&seed, &current, max_ratio, min_seed_s);
+    let (report, pass) = regress::render_report(&comparisons, max_ratio);
+    print!("{report}");
+    Ok(pass)
+}
+
+fn main() {
+    match run() {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn accepts_space_and_equals_flag_forms() {
+        let (s, c, r, f) = parse_args(&args(&["a.json", "b.json"])).unwrap();
+        assert_eq!((s.as_str(), c.as_str()), ("a.json", "b.json"));
+        assert_eq!((r, f), (2.5, 0.05));
+        // The usage line's own space-separated form must parse.
+        let (_, _, r, f) = parse_args(&args(&["a.json", "b.json", "--max-ratio", "3.0"])).unwrap();
+        assert_eq!((r, f), (3.0, 0.05));
+        let (_, _, r, f) = parse_args(&args(&[
+            "--min-seed-s=0.2",
+            "a.json",
+            "--max-ratio=4",
+            "b.json",
+        ]))
+        .unwrap();
+        assert_eq!((r, f), (4.0, 0.2));
+    }
+
+    #[test]
+    fn rejects_bad_invocations() {
+        assert!(parse_args(&args(&["a.json"])).is_err());
+        assert!(parse_args(&args(&["a.json", "b.json", "c.json"])).is_err());
+        assert!(parse_args(&args(&["a.json", "b.json", "--max-ratio"])).is_err());
+        assert!(parse_args(&args(&["a.json", "b.json", "--max-ratio", "x"])).is_err());
+        assert!(parse_args(&args(&["a.json", "b.json", "--bogus"])).is_err());
+    }
+}

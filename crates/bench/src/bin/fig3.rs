@@ -2,7 +2,7 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let engine = psa_runtime::Engine::from_args_and_env(&args);
+    let engine = psa_bench::harness::engine_from_cli(&args);
     println!("== Fig 3: spectrum magnitude, PSA vs external EM probe ==");
     let chip = psa_bench::experiments::build_chip();
     print!("{}", psa_bench::experiments::fig3_report(&chip, &engine));

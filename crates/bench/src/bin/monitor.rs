@@ -1,0 +1,77 @@
+//! Streaming run-time monitor: online detection from a live record
+//! stream under Trojan activation schedules (Sec. II-A / VI-D).
+//!
+//! ```text
+//! monitor [--jobs N] [--seeds K] [--bench-json [PATH]]
+//! ```
+//!
+//! Prints a deterministic cycle-stamped event log (byte-identical at
+//! any worker count — CI `cmp`s `--jobs 1` against `PSA_JOBS=2`);
+//! timing/engine chatter goes to stderr, and `--bench-json` writes the
+//! per-stage wall times (default path `BENCH_monitor.json`).
+
+use psa_bench::experiments;
+use psa_bench::harness::{bench_json_path, engine_from_cli, ArtifactTimer};
+
+/// Parses `--seeds K` / `--seeds=K` (default 1). A malformed or zero
+/// value exits 2 rather than being silently coerced — the same
+/// contract `--jobs` has.
+fn seeds_arg(args: &[String]) -> usize {
+    let invalid = |v: &str| -> ! {
+        eprintln!("error: invalid --seeds value `{v}`: expected a positive integer");
+        std::process::exit(2);
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--seeds" {
+            match iter.next() {
+                Some(v) => v.as_str(),
+                None => {
+                    eprintln!("error: --seeds requires a value (e.g. --seeds 2)");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            match arg.strip_prefix("--seeds=") {
+                Some(v) => v,
+                None => continue,
+            }
+        };
+        return match value.parse::<usize>() {
+            Ok(0) | Err(_) => invalid(value),
+            Ok(k) => k,
+        };
+    }
+    1
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let engine = engine_from_cli(&args);
+    let json_path = bench_json_path(&args, "BENCH_monitor.json");
+    let seeds = seeds_arg(&args);
+    let mut timer = ArtifactTimer::new();
+
+    println!("== Streaming run-time monitor: event log (Sec. II-A / VI-D) ==");
+    let chip = timer.time("build_chip", experiments::build_chip);
+    let outcomes = timer.time("monitor_sessions", || {
+        experiments::monitor_outcomes(&chip, &engine, seeds)
+    });
+    print!("{}", experiments::monitor_event_log(&outcomes));
+
+    eprintln!(
+        "[psa-runtime] monitor: {} worker(s), {} session(s), total wall {:.2} s",
+        engine.workers(),
+        outcomes.len(),
+        timer.total_s()
+    );
+    for (name, secs) in timer.entries() {
+        eprintln!("[psa-runtime]   {name:<16} {secs:>9.3} s");
+    }
+    if let Some(path) = json_path {
+        timer
+            .write_json(&path, engine.workers())
+            .expect("bench-json path is writable");
+        eprintln!("[psa-runtime] wrote {}", path.display());
+    }
+}

@@ -11,30 +11,12 @@
 //! stdout stays byte-comparable across worker counts.
 
 use psa_bench::experiments;
-use psa_bench::harness::ArtifactTimer;
-use std::path::PathBuf;
-
-fn bench_json_path(args: &[String]) -> Option<PathBuf> {
-    let mut iter = args.iter().peekable();
-    while let Some(arg) = iter.next() {
-        if arg == "--bench-json" {
-            let explicit = iter
-                .peek()
-                .filter(|next| !next.starts_with('-'))
-                .map(|next| PathBuf::from(next.as_str()));
-            return Some(explicit.unwrap_or_else(|| PathBuf::from("BENCH_repro_all.json")));
-        }
-        if let Some(path) = arg.strip_prefix("--bench-json=") {
-            return Some(PathBuf::from(path));
-        }
-    }
-    None
-}
+use psa_bench::harness::{bench_json_path, ArtifactTimer};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let engine = psa_runtime::Engine::from_args_and_env(&args);
-    let json_path = bench_json_path(&args);
+    let engine = psa_bench::harness::engine_from_cli(&args);
+    let json_path = bench_json_path(&args, "BENCH_repro_all.json");
     let mut timer = ArtifactTimer::new();
 
     let chip = timer.time("build_chip", experiments::build_chip);
@@ -79,6 +61,13 @@ fn main() {
         timer
             .time("table1", || experiments::table1(&chip, 2, &engine))
             .render()
+    );
+    println!("\n== Streaming run-time monitor: event log (Sec. II-A) ==");
+    print!(
+        "{}",
+        timer.time("monitor", || {
+            experiments::monitor_event_log(&experiments::monitor_outcomes(&chip, &engine, 1))
+        })
     );
 
     eprintln!(

@@ -2,7 +2,7 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let engine = psa_runtime::Engine::from_args_and_env(&args);
+    let engine = psa_bench::harness::engine_from_cli(&args);
     println!("== SNR comparison (Sec. VI-B, Eq. 1) ==");
     let chip = psa_bench::experiments::build_chip();
     print!(

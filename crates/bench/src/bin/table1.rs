@@ -8,7 +8,7 @@ use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let engine = psa_runtime::Engine::from_args_and_env(&args);
+    let engine = psa_bench::harness::engine_from_cli(&args);
     println!("== Table I: comparison of EM side-channel data collection methods ==");
     let chip = psa_bench::experiments::build_chip();
     let t0 = Instant::now();

@@ -23,7 +23,7 @@ use psa_runtime::{Campaign, Engine};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let engine = Engine::from_args_and_env(&args);
+    let engine = psa_bench::harness::engine_from_cli(&args);
     println!("== Detection vs trace budget (Table I, 'Measurement #') ==");
     let chip = TestChip::date24();
     psa_sweep(&chip, &engine);

@@ -12,13 +12,14 @@
 use psa_core::chip::{SensorSelect, TestChip};
 use psa_core::cross_domain::CrossDomainAnalyzer;
 use psa_core::detector::{BackscatterDetector, CrossDomainDetector, Detector, EuclideanDetector};
+use psa_core::monitor::{ActivationSchedule, ScheduleChange, SlidingConfig};
 use psa_core::mttd::{mttd_trial_with, MonitorTiming};
 use psa_core::report::{db, mhz, pct, sparkline, yes_no, Table};
 use psa_core::scenario::Scenario;
 use psa_core::snr::measure_snr_with;
 use psa_core::{calib, identify};
 use psa_gatesim::trojan::TrojanKind;
-use psa_runtime::{Campaign, Engine};
+use psa_runtime::{Campaign, Engine, MonitorCampaign, MonitorJob, MonitorOutcome, MonitorSummary};
 
 /// Builds the shared chip once (expensive: placement + coupling
 /// matrices).
@@ -578,6 +579,152 @@ pub fn mttd_table(chip: &TestChip, engine: &Engine) -> Table {
         "100 measurements".into(),
     ]);
     t
+}
+
+// ---------------------------------------------------------------------
+// Streaming run-time monitor (Sec. II-A) — the `monitor` binary.
+// ---------------------------------------------------------------------
+
+/// The standard streaming-monitor scenario suite, `seeds` sessions per
+/// scenario: each Trojan's trigger firing mid-stream, a bounded trigger
+/// window (alarm then clear), a two-Trojan overlap, a quiet
+/// VDD/temperature drift with rolling recalibration, and a legitimate
+/// AES key rotation — each watched on an empty-corner sensor (0) and
+/// the over-Trojan sensor (10).
+pub fn monitor_jobs(seeds: usize) -> Vec<MonitorJob> {
+    // Two-record warm fill: the deployed monitor decides on ≥2-record
+    // averages, suppressing single-record flicker on the quiet
+    // empty-corner sensor (the batch-compatible `1` is only for the
+    // mttd adapter).
+    let steady = SlidingConfig {
+        min_window_records: 2,
+        ..SlidingConfig::default()
+    };
+    let mut jobs = Vec::new();
+    for s in 0..seeds {
+        let seed = 5_000 + s as u64 * 131;
+        for kind in TrojanKind::ALL {
+            jobs.push(
+                MonitorJob::new(
+                    format!("{kind}-activates"),
+                    ActivationSchedule::trojan_at(kind, 2, 10),
+                )
+                .with_sensors(&[0, 10])
+                .with_config(steady.clone())
+                .expecting(10)
+                .with_seed(seed + kind.index() as u64),
+            );
+        }
+        jobs.push(
+            MonitorJob::new(
+                "t2-trigger-window",
+                ActivationSchedule::constant(Scenario::baseline(), 12)
+                    .step(2, ScheduleChange::TrojanOn(TrojanKind::T2))
+                    .step(6, ScheduleChange::TrojanOff(TrojanKind::T2)),
+            )
+            .with_sensors(&[10])
+            .with_config(steady.clone())
+            .expecting(10)
+            .with_seed(seed + 10),
+        );
+        jobs.push(
+            MonitorJob::new(
+                "t1+t4-overlap",
+                ActivationSchedule::constant(Scenario::baseline(), 10)
+                    .step(1, ScheduleChange::TrojanOn(TrojanKind::T1))
+                    .step(3, ScheduleChange::TrojanOn(TrojanKind::T4))
+                    .step(6, ScheduleChange::TrojanOff(TrojanKind::T1)),
+            )
+            .with_sensors(&[0, 10])
+            .with_config(steady.clone())
+            .expecting(10)
+            .with_seed(seed + 20),
+        );
+        jobs.push(
+            MonitorJob::new(
+                "vdd-temp-drift",
+                ActivationSchedule::constant(Scenario::baseline(), 10)
+                    .step(
+                        1,
+                        ScheduleChange::RampVdd {
+                            to: 1.15,
+                            over_records: 6,
+                        },
+                    )
+                    .step(
+                        1,
+                        ScheduleChange::RampTempC {
+                            to: 85.0,
+                            over_records: 6,
+                        },
+                    ),
+            )
+            .with_sensors(&[10])
+            .with_config(SlidingConfig {
+                recalibrate_after: Some(3),
+                ..steady.clone()
+            })
+            .with_seed(seed + 30),
+        );
+        jobs.push(
+            MonitorJob::new(
+                "key-rotation",
+                ActivationSchedule::constant(Scenario::baseline(), 8)
+                    .step(3, ScheduleChange::SetKey([0x3C; 16])),
+            )
+            .with_sensors(&[10])
+            .with_config(steady.clone())
+            .with_seed(seed + 40),
+        );
+    }
+    jobs
+}
+
+/// Runs the standard monitor suite on the engine (baseline learned in
+/// parallel first) and returns the session outcomes in submission
+/// order.
+pub fn monitor_outcomes(chip: &TestChip, engine: &Engine, seeds: usize) -> Vec<MonitorOutcome> {
+    let campaign = MonitorCampaign::new(chip, *engine, 0xBA5E);
+    campaign
+        .run(&monitor_jobs(seeds))
+        .expect("monitor sessions run on built-in sensors")
+}
+
+/// Renders the deterministic event log the `monitor` binary prints:
+/// per-session event lines plus report, then the campaign summary —
+/// byte-identical at any worker count.
+pub fn monitor_event_log(outcomes: &[MonitorOutcome]) -> String {
+    let mut out = String::new();
+    for o in outcomes {
+        out.push_str(&format!("-- session {} (seed {}) --\n", o.label, o.seed));
+        for e in &o.events {
+            out.push_str(&format!("{e}\n"));
+        }
+        out.push_str(&format!("{}\n", o.report));
+    }
+    let s = MonitorSummary::from_outcomes(outcomes);
+    out.push_str("== monitor summary ==\n");
+    out.push_str(&format!(
+        "sessions {}  detection {}/{}  mean MTTD {}  mean traces {}  false alarms {}/{} records  localization {}/{}\n",
+        s.sessions,
+        s.detected,
+        s.trojan_sessions,
+        if s.detected > 0 {
+            format!("{:.3} ms", s.mean_mttd_s * 1e3)
+        } else {
+            "-".into()
+        },
+        if s.detected > 0 {
+            format!("{:.2}", s.mean_traces)
+        } else {
+            "-".into()
+        },
+        s.false_alarms,
+        s.records,
+        s.localization_correct,
+        s.localization_scored,
+    ));
+    out
 }
 
 /// Convenience for the `mhz` formatter used by binaries.

@@ -6,7 +6,42 @@
 //! benchmarks, warm-up, multiple timed samples, and a median/min/mean
 //! report. Registered via `harness = false` in the bench target.
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
+
+/// Builds the campaign engine from CLI arguments and the `PSA_JOBS`
+/// environment variable, exiting with status 2 and a clear message on a
+/// malformed `--jobs` flag (`--jobs 0`, a missing value, or a
+/// non-integer) — the shared configuration front door of every
+/// chip-bound binary in this crate.
+pub fn engine_from_cli(args: &[String]) -> psa_runtime::Engine {
+    match psa_runtime::Engine::from_args_and_env(args) {
+        Ok(engine) => engine,
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses `--bench-json [PATH]` / `--bench-json=PATH` from an argument
+/// list; a bare flag selects `default`. `None` when the flag is absent.
+pub fn bench_json_path(args: &[String], default: &str) -> Option<PathBuf> {
+    let mut iter = args.iter().peekable();
+    while let Some(arg) = iter.next() {
+        if arg == "--bench-json" {
+            let explicit = iter
+                .peek()
+                .filter(|next| !next.starts_with('-'))
+                .map(|next| PathBuf::from(next.as_str()));
+            return Some(explicit.unwrap_or_else(|| PathBuf::from(default)));
+        }
+        if let Some(path) = arg.strip_prefix("--bench-json=") {
+            return Some(PathBuf::from(path));
+        }
+    }
+    None
+}
 
 /// Runs named closures and prints per-iteration timings.
 ///
@@ -239,6 +274,29 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("x\ny\t"), "x\\ny\\t");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn bench_json_path_variants() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(bench_json_path(&args(&[]), "D.json"), None);
+        assert_eq!(
+            bench_json_path(&args(&["--bench-json"]), "D.json"),
+            Some(PathBuf::from("D.json"))
+        );
+        assert_eq!(
+            bench_json_path(&args(&["--bench-json", "out.json"]), "D.json"),
+            Some(PathBuf::from("out.json"))
+        );
+        assert_eq!(
+            bench_json_path(&args(&["--bench-json=x.json"]), "D.json"),
+            Some(PathBuf::from("x.json"))
+        );
+        // A following flag is not a path.
+        assert_eq!(
+            bench_json_path(&args(&["--bench-json", "--jobs"]), "D.json"),
+            Some(PathBuf::from("D.json"))
+        );
     }
 
     #[test]

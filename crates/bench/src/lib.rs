@@ -13,7 +13,9 @@
 //! | `snr_compare` | Sec. VI-B — SNR of PSA / probes / single coil         |
 //! | `vt_sweep`    | Sec. VI-C — supply-voltage and temperature robustness |
 //! | `mttd`        | Sec. VI-D — traces-to-detect and MTTD                 |
+//! | `monitor`     | Sec. II-A — streaming run-time monitor event log      |
 //! | `repro_all`   | runs everything above in sequence                     |
+//! | `bench_check` | CI gate: fresh `BENCH_*.json` vs committed seed       |
 //!
 //! Every chip-bound binary runs its campaign on the `psa-runtime`
 //! parallel engine: `--jobs N` (or the `PSA_JOBS` environment variable)
@@ -33,3 +35,4 @@
 
 pub mod experiments;
 pub mod harness;
+pub mod regress;

@@ -1,0 +1,285 @@
+//! The bench-regression gate: compares a fresh `BENCH_*.json` timing
+//! artifact against a committed seed and fails on wall-time blow-ups.
+//!
+//! Std-only (the build container has no serde): the parser reads
+//! exactly the `psa-bench-json/1` format
+//! [`ArtifactTimer::to_json`](crate::harness::ArtifactTimer::to_json)
+//! writes. The comparison is deliberately loose — shared CI runners
+//! jitter — so only a large ratio over the seed (default 2.5×) on a
+//! non-trivial artifact (seed wall ≥ 50 ms) counts as a regression.
+
+use std::collections::BTreeMap;
+
+/// A parsed `BENCH_*.json` artifact file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchJson {
+    /// Worker count recorded by the run.
+    pub workers: Option<u64>,
+    /// Total wall time, seconds.
+    pub total_s: Option<f64>,
+    /// Per-artifact wall times, in file order.
+    pub artifacts: Vec<(String, f64)>,
+}
+
+/// Parses a `psa-bench-json/1` document.
+///
+/// # Errors
+///
+/// A human-readable message when the schema marker is missing or an
+/// artifact entry is malformed.
+pub fn parse_bench_json(text: &str) -> Result<BenchJson, String> {
+    if !text.contains("\"schema\": \"psa-bench-json/1\"") {
+        return Err("not a psa-bench-json/1 document (schema marker missing)".into());
+    }
+    let mut out = BenchJson {
+        workers: None,
+        total_s: None,
+        artifacts: Vec::new(),
+    };
+    for line in text.lines() {
+        if out.workers.is_none() {
+            if let Some(v) = field_number(line, "workers") {
+                out.workers = Some(v as u64);
+            }
+        }
+        if out.total_s.is_none() && !line.contains("\"wall_s\"") {
+            if let Some(v) = field_number(line, "total_s") {
+                out.total_s = Some(v);
+            }
+        }
+        if line.contains("\"name\"") {
+            let name = field_string(line, "name")
+                .ok_or_else(|| format!("malformed artifact entry: {}", line.trim()))?;
+            let wall = field_number(line, "wall_s")
+                .ok_or_else(|| format!("artifact `{name}` is missing wall_s"))?;
+            out.artifacts.push((name, wall));
+        }
+    }
+    if out.artifacts.is_empty() {
+        return Err("no artifacts found".into());
+    }
+    Ok(out)
+}
+
+fn field_string(line: &str, key: &str) -> Option<String> {
+    let rest = after_key(line, key)?;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn field_number(line: &str, key: &str) -> Option<f64> {
+    let rest = after_key(line, key)?;
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn after_key<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let pos = line.find(&needle)?;
+    Some(&line[pos + needle.len()..])
+}
+
+/// One artifact's comparison outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Verdict {
+    /// Current wall time is within `max_ratio` of the seed.
+    Ok,
+    /// Seed wall time is under the noise floor; not gated.
+    Skipped,
+    /// Artifact present in the seed but absent from the current run.
+    Missing,
+    /// Current wall time exceeds `max_ratio ×` seed.
+    Regressed,
+}
+
+/// One row of the regression report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Artifact name.
+    pub name: String,
+    /// Seed wall time, seconds.
+    pub seed_s: f64,
+    /// Current wall time, seconds (`None` when missing).
+    pub current_s: Option<f64>,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+/// Compares `current` against `seed`: every seed artifact with wall
+/// time ≥ `min_seed_s` must exist in `current` and run within
+/// `max_ratio ×` its seed time.
+pub fn compare(
+    seed: &BenchJson,
+    current: &BenchJson,
+    max_ratio: f64,
+    min_seed_s: f64,
+) -> Vec<Comparison> {
+    let current_by_name: BTreeMap<&str, f64> = current
+        .artifacts
+        .iter()
+        .map(|(n, w)| (n.as_str(), *w))
+        .collect();
+    seed.artifacts
+        .iter()
+        .map(|(name, seed_s)| {
+            let current_s = current_by_name.get(name.as_str()).copied();
+            // Noise-floored artifacts are never gated — not even when
+            // they disappear from the current run.
+            let verdict = match current_s {
+                _ if *seed_s < min_seed_s => Verdict::Skipped,
+                None => Verdict::Missing,
+                Some(cur) if cur > seed_s * max_ratio => Verdict::Regressed,
+                Some(_) => Verdict::Ok,
+            };
+            Comparison {
+                name: name.clone(),
+                seed_s: *seed_s,
+                current_s,
+                verdict,
+            }
+        })
+        .collect()
+}
+
+/// Renders the comparison table plus a pass/fail tail line; the bool is
+/// `true` when the gate passes.
+pub fn render_report(comparisons: &[Comparison], max_ratio: f64) -> (String, bool) {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:>10} {:>10} {:>7}  verdict\n",
+        "artifact", "seed (s)", "now (s)", "ratio"
+    ));
+    let mut failures = 0usize;
+    for c in comparisons {
+        let (now, ratio) = match c.current_s {
+            Some(cur) => (
+                format!("{cur:.3}"),
+                if c.seed_s > 0.0 {
+                    format!("{:.2}x", cur / c.seed_s)
+                } else {
+                    "-".into()
+                },
+            ),
+            None => ("-".into(), "-".into()),
+        };
+        let verdict = match c.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Skipped => "skipped (below noise floor)",
+            Verdict::Missing => {
+                failures += 1;
+                "MISSING from current run"
+            }
+            Verdict::Regressed => {
+                failures += 1;
+                "REGRESSED"
+            }
+        };
+        out.push_str(&format!(
+            "{:<20} {:>10.3} {:>10} {:>7}  {}\n",
+            c.name, c.seed_s, now, ratio, verdict
+        ));
+    }
+    let pass = failures == 0;
+    if pass {
+        out.push_str(&format!(
+            "bench gate: OK ({} artifacts within {max_ratio}x of seed)\n",
+            comparisons.len()
+        ));
+    } else {
+        out.push_str(&format!(
+            "bench gate: FAILED ({failures} artifact(s) regressed beyond {max_ratio}x or missing)\n"
+        ));
+    }
+    (out, pass)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::ArtifactTimer;
+
+    fn doc(entries: &[(&str, f64)]) -> BenchJson {
+        // Built in the exact shape ArtifactTimer::to_json writes (the
+        // round-trip test below covers the real writer).
+        let mut json = String::from("{\n  \"schema\": \"psa-bench-json/1\",\n");
+        json.push_str("  \"workers\": 4,\n  \"total_s\": 1.0,\n  \"artifacts\": [\n");
+        for (i, (n, w)) in entries.iter().enumerate() {
+            let comma = if i + 1 < entries.len() { "," } else { "" };
+            json.push_str(&format!(
+                "    {{\"name\": \"{n}\", \"wall_s\": {w:.6}}}{comma}\n"
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        parse_bench_json(&json).expect("well-formed")
+    }
+
+    #[test]
+    fn parses_artifact_timer_output() {
+        let mut timer = ArtifactTimer::new();
+        timer.time("table1", || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        timer.time("fig3", || ());
+        let parsed = parse_bench_json(&timer.to_json(3)).expect("parses");
+        assert_eq!(parsed.workers, Some(3));
+        assert!(parsed.total_s.is_some());
+        assert_eq!(parsed.artifacts.len(), 2);
+        assert_eq!(parsed.artifacts[0].0, "table1");
+        assert!(parsed.artifacts[0].1 >= 0.001);
+    }
+
+    #[test]
+    fn rejects_foreign_documents() {
+        assert!(parse_bench_json("{}").is_err());
+        assert!(parse_bench_json("{\"schema\": \"psa-bench-json/1\"}").is_err());
+    }
+
+    #[test]
+    fn gate_passes_within_ratio_and_skips_noise() {
+        let seed = doc(&[("build_chip", 2.0), ("table1", 1.0), ("tiny", 0.001)]);
+        let current = doc(&[("build_chip", 4.5), ("table1", 1.2), ("tiny", 0.5)]);
+        let cmp = compare(&seed, &current, 2.5, 0.05);
+        assert_eq!(cmp[0].verdict, Verdict::Ok); // 2.25x < 2.5x
+        assert_eq!(cmp[1].verdict, Verdict::Ok);
+        assert_eq!(cmp[2].verdict, Verdict::Skipped); // seed below floor
+        let (report, pass) = render_report(&cmp, 2.5);
+        assert!(pass, "{report}");
+        assert!(report.contains("bench gate: OK"));
+    }
+
+    #[test]
+    fn gate_fails_on_regression_and_missing() {
+        let seed = doc(&[("table1", 1.0), ("fig5", 2.0)]);
+        let current = doc(&[("table1", 2.6)]);
+        let cmp = compare(&seed, &current, 2.5, 0.05);
+        assert_eq!(cmp[0].verdict, Verdict::Regressed);
+        assert_eq!(cmp[1].verdict, Verdict::Missing);
+        let (report, pass) = render_report(&cmp, 2.5);
+        assert!(!pass);
+        assert!(report.contains("REGRESSED"));
+        assert!(report.contains("MISSING"));
+        assert!(report.contains("bench gate: FAILED"));
+    }
+
+    #[test]
+    fn missing_noise_floor_artifact_is_still_skipped() {
+        // A sub-floor artifact is never gated, even when it vanishes
+        // from the current run (e.g. a renamed trivial stage).
+        let seed = doc(&[("tiny", 0.001), ("table1", 1.0)]);
+        let current = doc(&[("table1", 1.0)]);
+        let cmp = compare(&seed, &current, 2.5, 0.05);
+        assert_eq!(cmp[0].verdict, Verdict::Skipped);
+        assert!(render_report(&cmp, 2.5).1);
+    }
+
+    #[test]
+    fn new_artifacts_in_current_are_not_gated() {
+        let seed = doc(&[("table1", 1.0)]);
+        let current = doc(&[("table1", 1.0), ("brand_new", 99.0)]);
+        let cmp = compare(&seed, &current, 2.5, 0.05);
+        assert_eq!(cmp.len(), 1);
+        assert!(render_report(&cmp, 2.5).1);
+    }
+}

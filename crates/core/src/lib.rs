@@ -27,7 +27,11 @@
 //!   and single-coil traces (He TVLSI'17 / He DAC'20) and the
 //!   backscattering PCA+K-means detector (Nguyen HOST'20).
 //! * [`snr`] — the RMS-ratio SNR procedure of Eq. (1).
-//! * [`mttd`] — mean-time-to-detect simulation of the run-time loop.
+//! * [`mttd`] — mean-time-to-detect simulation of the run-time loop,
+//!   now a thin batch adapter over the streaming monitor.
+//! * [`monitor`] — the streaming run-time monitor: record streams under
+//!   activation schedules, sliding spectral detection, typed
+//!   cycle-stamped events, and per-session MTTD reports.
 //! * [`report`] — plain-text table rendering for the bench harness.
 //!
 //! # Example
@@ -57,6 +61,7 @@ pub mod cross_domain;
 pub mod detector;
 pub mod error;
 pub mod identify;
+pub mod monitor;
 pub mod mttd;
 pub mod report;
 pub mod scenario;

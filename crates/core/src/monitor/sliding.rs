@@ -1,0 +1,323 @@
+//! The sliding detector: per-sensor rolling spectra compared against
+//! (optionally rolling) baseline envelopes.
+
+use crate::acquisition::{AcqContext, TraceSet};
+use crate::calib;
+use crate::cross_domain::Baseline;
+use crate::error::CoreError;
+use crate::monitor::stream::StreamSource;
+use crate::scenario::Scenario;
+use psa_dsp::peak;
+
+/// Configuration of the sliding detector.
+///
+/// The defaults coincide exactly with the batch
+/// [`mttd_trial`](crate::mttd::mttd_trial) comparison (5-record rolling
+/// window, 10 dB threshold, 8-bin baseline envelope, immediate clear,
+/// frozen baseline), which is what makes the batch path a thin adapter
+/// over this one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingConfig {
+    /// Records in the rolling averaging window (ring buffer depth).
+    pub window_records: usize,
+    /// Records the window must hold before comparisons start (warm-fill
+    /// suppression): a single-record spectrum compared against an
+    /// averaged baseline can flicker past the threshold on a quiet
+    /// noise-floor sensor. `1` compares from the very first record —
+    /// the batch-compatible setting.
+    pub min_window_records: usize,
+    /// Emergent-component threshold, dB over the baseline envelope.
+    pub threshold_db: f64,
+    /// Half-width of the local-max envelope applied to the baseline
+    /// (flicker immunity, as in the batch analyzer).
+    pub envelope_half_window: usize,
+    /// Consecutive quiet ticks before an alarmed sensor clears.
+    pub clear_after_quiet: usize,
+    /// Quiet ticks between rolling-baseline refreshes; `None` freezes
+    /// the learned baseline (the batch-compatible setting). Refreshing
+    /// absorbs slow operating-condition drift instead of alarming on
+    /// it.
+    pub recalibrate_after: Option<usize>,
+}
+
+impl Default for SlidingConfig {
+    fn default() -> Self {
+        SlidingConfig {
+            window_records: calib::TRACES_PER_SPECTRUM,
+            min_window_records: 1,
+            threshold_db: calib::DETECTION_THRESHOLD_DB,
+            envelope_half_window: 8,
+            clear_after_quiet: 1,
+            recalibrate_after: None,
+        }
+    }
+}
+
+/// One watched sensor's streaming state.
+#[derive(Debug)]
+struct Lane {
+    sensor: usize,
+    /// Rolling record window; evicted record buffers are recycled
+    /// through `fresh` so the steady-state stream never allocates.
+    window: TraceSet,
+    fresh: TraceSet,
+    base_env: Vec<f64>,
+    alarmed: bool,
+    quiet_ticks: usize,
+    quiet_since_recalib: usize,
+}
+
+/// What one lane saw during one stream tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaneObservation {
+    /// The lane's sensor.
+    pub sensor: usize,
+    /// Whether any bin exceeded the threshold this tick.
+    pub hit: bool,
+    /// Whether this tick started an alarm on this lane.
+    pub newly_alarmed: bool,
+    /// Whether this tick cleared a standing alarm.
+    pub cleared: bool,
+    /// Whether the rolling baseline was refreshed this tick.
+    pub recalibrated: bool,
+    /// Strongest emergent bin, when `hit`.
+    pub top_bin: Option<usize>,
+    /// Excess of the strongest emergent bin, dB.
+    pub top_excess_db: f64,
+    /// The tick's full-resolution spectrum (dB), for cross-lane
+    /// localization at a common line.
+    pub spec: Vec<f64>,
+}
+
+/// The streaming detector: a ring-buffered rolling spectrum per watched
+/// sensor, compared each tick against that sensor's baseline envelope.
+#[derive(Debug)]
+pub struct SlidingDetector {
+    config: SlidingConfig,
+    lanes: Vec<Lane>,
+}
+
+impl SlidingDetector {
+    /// Builds a detector watching `sensors`, seeded from the learned
+    /// run-time `baseline`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidParameter`] when `sensors` is empty, the
+    /// window is zero, or the baseline lacks a watched sensor.
+    pub fn new(
+        baseline: &Baseline,
+        sensors: &[usize],
+        config: SlidingConfig,
+    ) -> Result<Self, CoreError> {
+        if sensors.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                what: "monitor needs at least one sensor",
+            });
+        }
+        if config.window_records == 0 {
+            return Err(CoreError::InvalidParameter {
+                what: "rolling window must hold at least one record",
+            });
+        }
+        if config.min_window_records > config.window_records {
+            return Err(CoreError::InvalidParameter {
+                what: "warm-fill minimum exceeds the rolling window depth",
+            });
+        }
+        let lanes = sensors
+            .iter()
+            .map(|&sensor| {
+                let base =
+                    baseline
+                        .per_sensor_db
+                        .get(sensor)
+                        .ok_or(CoreError::InvalidParameter {
+                            what: "baseline missing monitored sensor",
+                        })?;
+                Ok(Lane {
+                    sensor,
+                    window: TraceSet::default(),
+                    fresh: TraceSet::default(),
+                    base_env: peak::local_max_envelope(base, config.envelope_half_window),
+                    alarmed: false,
+                    quiet_ticks: 0,
+                    quiet_since_recalib: 0,
+                })
+            })
+            .collect::<Result<Vec<_>, CoreError>>()?;
+        Ok(SlidingDetector { config, lanes })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SlidingConfig {
+        &self.config
+    }
+
+    /// Number of watched sensors.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The watched sensor indices, in lane order.
+    pub fn sensors(&self) -> Vec<usize> {
+        self.lanes.iter().map(|l| l.sensor).collect()
+    }
+
+    /// Whether any lane currently holds a standing alarm.
+    pub fn any_alarmed(&self) -> bool {
+        self.lanes.iter().any(|l| l.alarmed)
+    }
+
+    /// Processes one stream tick for lane `lane_idx`: pull the record,
+    /// roll the window, render the spectrum, compare, and update the
+    /// alarm / recalibration state machine.
+    ///
+    /// The acquisition→comparison sequence is bit-identical to one
+    /// iteration of the batch MTTD replay loop.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition/DSP errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_idx` is out of range.
+    pub fn observe(
+        &mut self,
+        ctx: &mut AcqContext<'_>,
+        stream: &StreamSource,
+        scenario: &Scenario,
+        lane_idx: usize,
+    ) -> Result<LaneObservation, CoreError> {
+        let lane = &mut self.lanes[lane_idx];
+        stream.pull_scenario_into(ctx, scenario, lane.sensor, &mut lane.fresh)?;
+
+        // Rolling averaging window: move the new record in; recycle the
+        // evicted record's buffer for the next pull.
+        lane.window.fs_hz = lane.fresh.fs_hz;
+        lane.window.sensor = lane.fresh.sensor;
+        lane.window
+            .records
+            .push(std::mem::take(&mut lane.fresh.records[0]));
+        if lane.window.records.len() > self.config.window_records {
+            let evicted = lane.window.records.remove(0);
+            lane.fresh.records[0] = evicted;
+        }
+        if lane.window.records.len() < self.config.min_window_records {
+            // Warm fill: the window is still too shallow for a stable
+            // spectrum; no comparison, no state-machine movement.
+            return Ok(LaneObservation {
+                sensor: lane.sensor,
+                hit: false,
+                newly_alarmed: false,
+                cleared: false,
+                recalibrated: false,
+                top_bin: None,
+                top_excess_db: 0.0,
+                spec: Vec::new(),
+            });
+        }
+        let spec = ctx.fullres_spectrum_db(&lane.window)?;
+        let hits = peak::excess_over_baseline_db(&spec, &lane.base_env, self.config.threshold_db);
+
+        let mut obs = LaneObservation {
+            sensor: lane.sensor,
+            hit: !hits.is_empty(),
+            newly_alarmed: false,
+            cleared: false,
+            recalibrated: false,
+            top_bin: None,
+            top_excess_db: 0.0,
+            spec: Vec::new(),
+        };
+        if let Some(&(bin, excess)) = hits.first() {
+            lane.quiet_ticks = 0;
+            lane.quiet_since_recalib = 0;
+            obs.top_bin = Some(bin);
+            obs.top_excess_db = excess;
+            if !lane.alarmed {
+                lane.alarmed = true;
+                obs.newly_alarmed = true;
+            }
+        } else {
+            lane.quiet_ticks += 1;
+            lane.quiet_since_recalib += 1;
+            if lane.alarmed && lane.quiet_ticks >= self.config.clear_after_quiet {
+                lane.alarmed = false;
+                obs.cleared = true;
+            }
+            if let Some(every) = self.config.recalibrate_after {
+                if !lane.alarmed && lane.quiet_since_recalib >= every {
+                    lane.base_env =
+                        peak::local_max_envelope(&spec, self.config.envelope_half_window);
+                    lane.quiet_since_recalib = 0;
+                    obs.recalibrated = true;
+                }
+            }
+        }
+        obs.spec = spec;
+        Ok(obs)
+    }
+
+    /// Absolute linear-amplitude excess of lane `lane_idx`'s spectrum
+    /// over its baseline envelope around `bin` (±3 bins, clamped at
+    /// zero) — the cross-lane localization ranking quantity, mirroring
+    /// the batch analyzer: the sensor with the strongest *absolute*
+    /// coupling to the common emergent line is the closest one,
+    /// regardless of how quiet its own floor is.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane_idx` is out of range.
+    pub fn amplitude_excess_at(&self, lane_idx: usize, spec: &[f64], bin: usize) -> f64 {
+        let base = &self.lanes[lane_idx].base_env;
+        let lo = bin.saturating_sub(3);
+        let hi = (bin + 4).min(spec.len()).min(base.len());
+        (lo..hi)
+            .map(|k| {
+                psa_dsp::spectrum::db_to_amplitude(spec[k])
+                    - psa_dsp::spectrum::db_to_amplitude(base[k])
+            })
+            .fold(0.0f64, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_coincides_with_batch_mttd() {
+        let c = SlidingConfig::default();
+        assert_eq!(c.window_records, calib::TRACES_PER_SPECTRUM);
+        assert_eq!(c.min_window_records, 1);
+        assert_eq!(c.threshold_db, calib::DETECTION_THRESHOLD_DB);
+        assert_eq!(c.envelope_half_window, 8);
+        assert_eq!(c.clear_after_quiet, 1);
+        assert_eq!(c.recalibrate_after, None);
+    }
+
+    #[test]
+    fn rejects_empty_sensor_list_and_zero_window() {
+        let baseline = Baseline {
+            per_sensor_db: vec![vec![0.0; 8]],
+        };
+        assert!(SlidingDetector::new(&baseline, &[], SlidingConfig::default()).is_err());
+        let bad = SlidingConfig {
+            window_records: 0,
+            ..SlidingConfig::default()
+        };
+        assert!(SlidingDetector::new(&baseline, &[0], bad).is_err());
+        let bad_fill = SlidingConfig {
+            min_window_records: 9,
+            ..SlidingConfig::default()
+        };
+        assert!(SlidingDetector::new(&baseline, &[0], bad_fill).is_err());
+        assert!(SlidingDetector::new(&baseline, &[3], SlidingConfig::default()).is_err());
+        let ok = SlidingDetector::new(&baseline, &[0], SlidingConfig::default()).unwrap();
+        assert_eq!(ok.lanes(), 1);
+        assert_eq!(ok.sensors(), vec![0]);
+        assert!(!ok.any_alarmed());
+    }
+}

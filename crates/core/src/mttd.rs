@@ -8,13 +8,12 @@
 //! than ten traces in under 10 ms; baseline methods need 100–10 000
 //! traces and correspondingly longer.
 
-use crate::acquisition::{AcqContext, TraceSet};
-use crate::calib;
-use crate::chip::{SensorSelect, TestChip};
+use crate::acquisition::AcqContext;
+use crate::chip::TestChip;
 use crate::cross_domain::Baseline;
 use crate::error::CoreError;
+use crate::monitor::{ActivationSchedule, Monitor, SlidingConfig, SlidingDetector, StreamSource};
 use crate::scenario::Scenario;
-use psa_dsp::peak;
 
 /// Timing model of the run-time monitor loop.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,8 +81,15 @@ pub fn mttd_trial(
 }
 
 /// [`mttd_trial`] on a reusable per-worker context (the campaign
-/// engine's path): the monitor's rolling record window shuffles buffers
-/// instead of cloning them. Bit-identical to [`mttd_trial`].
+/// engine's path). Bit-identical to [`mttd_trial`].
+///
+/// This is now a **thin batch adapter over the streaming monitor**: the
+/// trial is a one-sensor [`Monitor`] session under a constant
+/// [`ActivationSchedule`] (Trojan active from record 0) with the
+/// batch-compatible [`SlidingConfig`] defaults — same per-record
+/// seeding, same rolling window, same envelope comparison, same
+/// f64-accumulation order, so results are bit-identical to the
+/// historical replay loop (asserted by the workspace tests).
 ///
 /// # Errors
 ///
@@ -96,56 +102,71 @@ pub fn mttd_trial_with(
     timing: &MonitorTiming,
     max_traces: usize,
 ) -> Result<MttdResult, CoreError> {
-    let base = baseline
-        .per_sensor_db
-        .get(sensor)
-        .ok_or(CoreError::InvalidParameter {
-            what: "baseline missing monitored sensor",
-        })?;
-    // Same flicker-proof comparison as the analyzer: a test bin must
-    // beat the local worst case of the learned baseline.
-    let base_env = peak::local_max_envelope(base, 8);
+    let schedule = ActivationSchedule::constant(scenario.clone(), max_traces);
+    mttd_trial_scheduled(ctx, &schedule, baseline, sensor, timing)
+}
 
-    let mut fresh = TraceSet::default();
-    let mut window = TraceSet::default();
-    let mut elapsed = 0.0;
-    for trace_idx in 0..max_traces {
-        // Acquire one fresh record (the simulator runs on from the
-        // activation instant).
-        ctx.acquire_into(
-            &scenario.clone().with_seed(scenario.seed + trace_idx as u64),
-            SensorSelect::Psa(sensor),
-            1,
-            &mut fresh,
-        )?;
-        elapsed += timing.acquisition_s;
-
-        // Rolling averaging window: move the new record in; recycle the
-        // evicted record's buffer for the next acquisition.
-        window.fs_hz = fresh.fs_hz;
-        window.sensor = fresh.sensor;
-        window.records.push(std::mem::take(&mut fresh.records[0]));
-        if window.records.len() > calib::TRACES_PER_SPECTRUM {
-            let evicted = window.records.remove(0);
-            fresh.records[0] = evicted;
-        }
-        let spec = ctx.fullres_spectrum_db(&window)?;
-        elapsed += timing.processing_s;
-
-        let hits = peak::excess_over_baseline_db(&spec, &base_env, calib::DETECTION_THRESHOLD_DB);
-        if !hits.is_empty() {
+/// The schedule-driven trial: runs a one-sensor streaming monitor
+/// session over `schedule` and reduces its event log to an
+/// [`MttdResult`], with the MTTD clock starting at the schedule's first
+/// Trojan-active record (record 0 for the batch-compatible constant
+/// schedule).
+///
+/// Alarms fired before activation (false alarms) do not stop the
+/// clock — but a false alarm whose flag is *still standing* when the
+/// Trojan activates counts as an immediate detection (one trace, one
+/// monitor tick): the detector only emits `Alarm` on the
+/// quiet→alarmed transition, so no post-activation event would
+/// otherwise mark it. A stream with no activation or no
+/// post-activation alarm returns `detected = false` with the full
+/// horizon spent.
+///
+/// # Errors
+///
+/// Propagates acquisition errors; the baseline must cover `sensor`.
+pub fn mttd_trial_scheduled(
+    ctx: &mut AcqContext<'_>,
+    schedule: &ActivationSchedule,
+    baseline: &Baseline,
+    sensor: usize,
+    timing: &MonitorTiming,
+) -> Result<MttdResult, CoreError> {
+    let detector = SlidingDetector::new(baseline, &[sensor], SlidingConfig::default())?;
+    let mut monitor = Monitor::new(StreamSource::new(schedule.clone()), detector, *timing);
+    let activation = schedule.first_activation_record();
+    let per_tick_s = timing.acquisition_s + timing.processing_s;
+    while !monitor.finished() {
+        // A flag already up when the Trojan activates is a detection
+        // the moment the activation record's iteration completes.
+        let standing =
+            Some(monitor.next_record()) == activation && monitor.detector().any_alarmed();
+        let events = monitor.step(ctx)?;
+        if standing {
             return Ok(MttdResult {
                 detected: true,
-                time_to_detect_s: elapsed,
-                traces_used: trace_idx + 1,
+                time_to_detect_s: per_tick_s,
+                traces_used: 1,
+                sensor,
+            });
+        }
+        if let (Some(alarm), Some(act)) = (
+            events
+                .iter()
+                .find(|e| e.is_alarm() && Some(e.record) >= activation),
+            activation,
+        ) {
+            return Ok(MttdResult {
+                detected: true,
+                time_to_detect_s: alarm.elapsed_s - act as f64 * per_tick_s,
+                traces_used: alarm.record - act + 1,
                 sensor,
             });
         }
     }
     Ok(MttdResult {
         detected: false,
-        time_to_detect_s: elapsed,
-        traces_used: max_traces,
+        time_to_detect_s: monitor.elapsed_s() - activation.unwrap_or(0) as f64 * per_tick_s,
+        traces_used: schedule.horizon() - activation.unwrap_or(0),
         sensor,
     })
 }

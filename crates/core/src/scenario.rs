@@ -222,6 +222,53 @@ mod tests {
         assert_eq!(s.trojan, None);
         assert!(s.extra_trojans.is_empty());
         assert_eq!(s.chip_config().trojan_enables, [false; 4]);
+        // ... and is exactly the baseline scenario, field for field.
+        assert_eq!(s, Scenario::baseline());
+    }
+
+    #[test]
+    fn all_duplicates_collapse_to_one_primary() {
+        // The same kind any number of times is one activation, never an
+        // extra.
+        let s = Scenario::trojans_active(&[TrojanKind::T3; 5]);
+        assert_eq!(s.trojan, Some(TrojanKind::T3));
+        assert!(s.extra_trojans.is_empty());
+        let cfg = s.chip_config();
+        assert_eq!(
+            cfg.trojan_enables.iter().filter(|&&e| e).count(),
+            1,
+            "exactly one enable pin"
+        );
+    }
+
+    #[test]
+    fn interleaved_duplicates_keep_first_occurrence_order() {
+        let s = Scenario::trojans_active(&[
+            TrojanKind::T4,
+            TrojanKind::T1,
+            TrojanKind::T4,
+            TrojanKind::T3,
+            TrojanKind::T1,
+            TrojanKind::T3,
+        ]);
+        assert_eq!(s.trojan, Some(TrojanKind::T4));
+        assert_eq!(s.extra_trojans, vec![TrojanKind::T1, TrojanKind::T3]);
+    }
+
+    #[test]
+    fn warmup_zero_is_valid_and_preserved() {
+        // warmup = 0 must mean "record from cycle 0", not a default.
+        let s = Scenario::baseline().with_warmup(0);
+        assert_eq!(s.warmup_cycles, 0);
+        // The chip config is unaffected by warm-up (it is an
+        // acquisition-loop concern), and the builder keeps every other
+        // field.
+        assert_eq!(s.chip_config().seed, Scenario::baseline().seed);
+        let chained = Scenario::trojan_active(TrojanKind::T2)
+            .with_warmup(0)
+            .with_seed(3);
+        assert_eq!(chained.warmup_cycles, 0);
+        assert!(chained.chip_config().force_t2_trigger);
     }
 
     #[test]

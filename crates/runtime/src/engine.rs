@@ -62,8 +62,18 @@ impl Engine {
     /// Worker count from CLI arguments (`--jobs N` or `--jobs=N`), then
     /// the `PSA_JOBS` environment variable, then auto-detection — the
     /// standard configuration path of the `psa-bench` binaries.
-    pub fn from_args_and_env<S: AsRef<str>>(args: &[S]) -> Self {
-        Self::new(parse_jobs_arg(args).or_else(jobs_from_env).unwrap_or(0))
+    ///
+    /// # Errors
+    ///
+    /// A malformed `--jobs` argument is an error: `--jobs 0` (a worker
+    /// pool needs at least one worker; omit the flag for
+    /// auto-detection), a missing value, or a non-integer value. It
+    /// used to be silently coerced to auto-detection, which made typos
+    /// indistinguishable from intent.
+    pub fn from_args_and_env<S: AsRef<str>>(args: &[S]) -> Result<Self, JobsArgError> {
+        Ok(Self::new(
+            parse_jobs_arg(args)?.or_else(jobs_from_env).unwrap_or(0),
+        ))
     }
 
     /// The number of worker threads this engine fans jobs across.
@@ -153,19 +163,60 @@ fn jobs_from_env() -> Option<usize> {
     std::env::var(JOBS_ENV_VAR).ok()?.trim().parse().ok()
 }
 
-/// Parses `--jobs N` / `--jobs=N` from an argument list; `None` when
-/// absent or malformed.
-pub fn parse_jobs_arg<S: AsRef<str>>(args: &[S]) -> Option<usize> {
-    let mut iter = args.iter().map(AsRef::as_ref);
-    while let Some(arg) = iter.next() {
-        if arg == "--jobs" {
-            return iter.next()?.parse().ok();
-        }
-        if let Some(v) = arg.strip_prefix("--jobs=") {
-            return v.parse().ok();
+/// A malformed `--jobs` CLI argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobsArgError {
+    /// `--jobs 0`: a worker pool needs at least one worker.
+    Zero,
+    /// `--jobs` with no value following it.
+    MissingValue,
+    /// `--jobs` with a non-integer value (kept verbatim for the
+    /// message).
+    Invalid(String),
+}
+
+impl std::fmt::Display for JobsArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobsArgError::Zero => write!(
+                f,
+                "--jobs 0 is invalid: the worker count must be at least 1 \
+                 (omit --jobs to auto-detect one worker per core)"
+            ),
+            JobsArgError::MissingValue => write!(f, "--jobs requires a value (e.g. --jobs 4)"),
+            JobsArgError::Invalid(v) => {
+                write!(f, "invalid --jobs value `{v}`: expected a positive integer")
+            }
         }
     }
-    None
+}
+
+impl std::error::Error for JobsArgError {}
+
+/// Parses `--jobs N` / `--jobs=N` from an argument list; `Ok(None)`
+/// when the flag is absent.
+///
+/// # Errors
+///
+/// [`JobsArgError`] when the flag is present but malformed — including
+/// `--jobs 0`, which is rejected rather than silently treated as
+/// auto-detection.
+pub fn parse_jobs_arg<S: AsRef<str>>(args: &[S]) -> Result<Option<usize>, JobsArgError> {
+    let mut iter = args.iter().map(AsRef::as_ref);
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--jobs" {
+            Some(iter.next().ok_or(JobsArgError::MissingValue)?)
+        } else {
+            arg.strip_prefix("--jobs=")
+        };
+        let Some(value) = value else { continue };
+        return match value.parse::<usize>() {
+            Ok(0) => Err(JobsArgError::Zero),
+            Ok(n) => Ok(Some(n)),
+            Err(_) => Err(JobsArgError::Invalid(value.to_string())),
+        };
+    }
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -242,12 +293,40 @@ mod tests {
 
     #[test]
     fn jobs_arg_parsing() {
-        assert_eq!(parse_jobs_arg(&["--jobs", "3"]), Some(3));
-        assert_eq!(parse_jobs_arg(&["--jobs=12"]), Some(12));
-        assert_eq!(parse_jobs_arg(&["x", "--jobs", "2", "y"]), Some(2));
-        assert_eq!(parse_jobs_arg(&["--jobs"]), None);
-        assert_eq!(parse_jobs_arg(&["--jobs", "abc"]), None);
-        assert_eq!(parse_jobs_arg(&["--other"]), None);
-        assert_eq!(parse_jobs_arg(&Vec::<String>::new()), None);
+        assert_eq!(parse_jobs_arg(&["--jobs", "3"]), Ok(Some(3)));
+        assert_eq!(parse_jobs_arg(&["--jobs=12"]), Ok(Some(12)));
+        assert_eq!(parse_jobs_arg(&["x", "--jobs", "2", "y"]), Ok(Some(2)));
+        assert_eq!(parse_jobs_arg(&["--other"]), Ok(None));
+        assert_eq!(parse_jobs_arg(&Vec::<String>::new()), Ok(None));
+    }
+
+    #[test]
+    fn jobs_arg_rejects_zero_missing_and_garbage() {
+        // `--jobs 0` used to be silently treated as auto-detection;
+        // it is now a hard error with an actionable message.
+        assert_eq!(parse_jobs_arg(&["--jobs", "0"]), Err(JobsArgError::Zero));
+        assert_eq!(parse_jobs_arg(&["--jobs=0"]), Err(JobsArgError::Zero));
+        assert_eq!(parse_jobs_arg(&["--jobs"]), Err(JobsArgError::MissingValue));
+        assert_eq!(
+            parse_jobs_arg(&["--jobs", "abc"]),
+            Err(JobsArgError::Invalid("abc".into()))
+        );
+        assert_eq!(
+            parse_jobs_arg(&["--jobs=-2"]),
+            Err(JobsArgError::Invalid("-2".into()))
+        );
+        assert!(Engine::from_args_and_env(&["--jobs", "0"]).is_err());
+        assert_eq!(
+            Engine::from_args_and_env(&["--jobs", "3"])
+                .unwrap()
+                .workers(),
+            3
+        );
+        // Messages are actionable.
+        assert!(JobsArgError::Zero.to_string().contains("at least 1"));
+        assert!(JobsArgError::MissingValue.to_string().contains("value"));
+        assert!(JobsArgError::Invalid("x".into())
+            .to_string()
+            .contains("`x`"));
     }
 }

@@ -9,13 +9,20 @@
 //!   deterministic, submission-order result collection. Worker count
 //!   comes from `--jobs N`, the `PSA_JOBS` environment variable, or
 //!   [`std::thread::available_parallelism`]; `--jobs 1` is the serial
-//!   fallback (no threads spawned at all).
+//!   fallback (no threads spawned at all), and `--jobs 0` is rejected
+//!   with a [`JobsArgError`](engine::JobsArgError) rather than being
+//!   silently coerced.
 //! * [`campaign`] — the acquisition-level [`Campaign`](campaign::Campaign)/
 //!   [`AcquireJob`](campaign::AcquireJob) abstraction: jobs are
 //!   `(Scenario, SensorSelect, records, per-job seed)` fanned against
 //!   one shared [`TestChip`](psa_core::chip::TestChip), with one
 //!   reusable [`AcqContext`](psa_core::acquisition::AcqContext) per
 //!   worker.
+//! * [`monitor`] — streaming-session campaigns: whole
+//!   [`psa_core::monitor`] sessions (schedule, sliding detector, event
+//!   log) fanned across workers as single jobs, with submission-order
+//!   outcome collection and campaign-level MTTD / false-alarm /
+//!   localization summaries.
 //!
 //! ## Determinism
 //!
@@ -38,6 +45,8 @@
 
 pub mod campaign;
 pub mod engine;
+pub mod monitor;
 
 pub use campaign::{AcquireJob, Campaign};
 pub use engine::Engine;
+pub use monitor::{MonitorCampaign, MonitorJob, MonitorOutcome, MonitorSummary};
