@@ -6,9 +6,14 @@
 //! ```
 //!
 //! Defaults: `R = 2.5` (loose enough for shared-runner jitter),
-//! `S = 0.05` (artifacts whose seed wall time is under 50 ms are noise
-//! and never gated). Exit status: 0 pass, 1 regression, 2 usage/parse
-//! error.
+//! `S = 0.05` (the noise floor: artifacts whose *seed* wall time is
+//! under 50 ms are never gated, and an unseeded artifact is forgiven
+//! only with a clear margin under the floor — measured under `S/2` —
+//! so a stage hovering at the floor fails consistently instead of
+//! flapping). Fails loudly — exit status: 0 pass; 1 when an artifact
+//! regressed, vanished from the current run, or has no seed
+//! counterpart; 2 usage/parse error (including a missing seed file
+//! under `benchmarks/seed/`).
 
 use psa_bench::regress;
 

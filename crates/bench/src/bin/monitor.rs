@@ -11,45 +11,13 @@
 //! per-stage wall times (default path `BENCH_monitor.json`).
 
 use psa_bench::experiments;
-use psa_bench::harness::{bench_json_path, engine_from_cli, ArtifactTimer};
-
-/// Parses `--seeds K` / `--seeds=K` (default 1). A malformed or zero
-/// value exits 2 rather than being silently coerced — the same
-/// contract `--jobs` has.
-fn seeds_arg(args: &[String]) -> usize {
-    let invalid = |v: &str| -> ! {
-        eprintln!("error: invalid --seeds value `{v}`: expected a positive integer");
-        std::process::exit(2);
-    };
-    let mut iter = args.iter();
-    while let Some(arg) = iter.next() {
-        let value = if arg == "--seeds" {
-            match iter.next() {
-                Some(v) => v.as_str(),
-                None => {
-                    eprintln!("error: --seeds requires a value (e.g. --seeds 2)");
-                    std::process::exit(2);
-                }
-            }
-        } else {
-            match arg.strip_prefix("--seeds=") {
-                Some(v) => v,
-                None => continue,
-            }
-        };
-        return match value.parse::<usize>() {
-            Ok(0) | Err(_) => invalid(value),
-            Ok(k) => k,
-        };
-    }
-    1
-}
+use psa_bench::harness::{bench_json_path, engine_from_cli, positive_usize_arg, ArtifactTimer};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let engine = engine_from_cli(&args);
     let json_path = bench_json_path(&args, "BENCH_monitor.json");
-    let seeds = seeds_arg(&args);
+    let seeds = positive_usize_arg(&args, "--seeds", 1);
     let mut timer = ArtifactTimer::new();
 
     println!("== Streaming run-time monitor: event log (Sec. II-A / VI-D) ==");

@@ -9,6 +9,7 @@
 //! (`--jobs 1` reproduces the historical serial runs exactly, and the
 //! workspace equivalence tests assert it).
 
+use psa_core::atlas::PlacementSweepConfig;
 use psa_core::chip::{SensorSelect, TestChip};
 use psa_core::cross_domain::CrossDomainAnalyzer;
 use psa_core::detector::{BackscatterDetector, CrossDomainDetector, Detector, EuclideanDetector};
@@ -19,7 +20,11 @@ use psa_core::scenario::Scenario;
 use psa_core::snr::measure_snr_with;
 use psa_core::{calib, identify};
 use psa_gatesim::trojan::TrojanKind;
-use psa_runtime::{Campaign, Engine, MonitorCampaign, MonitorJob, MonitorOutcome, MonitorSummary};
+use psa_layout::emitter::sweep_grid;
+use psa_runtime::{
+    AtlasCampaign, AtlasCorner, AtlasJob, AtlasOutcome, Campaign, Engine, MonitorCampaign,
+    MonitorJob, MonitorOutcome, MonitorSummary,
+};
 
 /// Builds the shared chip once (expensive: placement + coupling
 /// matrices).
@@ -724,6 +729,253 @@ pub fn monitor_event_log(outcomes: &[MonitorOutcome]) -> String {
         s.localization_correct,
         s.localization_scored,
     ));
+    out
+}
+
+// ---------------------------------------------------------------------
+// Localization-accuracy atlas — the `localize_atlas` binary.
+// ---------------------------------------------------------------------
+
+/// Margin the atlas sweep grid keeps from the die edge, µm (inside the
+/// outermost sensor centres, so every site has meaningful coverage).
+pub const ATLAS_GRID_MARGIN_UM: f64 = 60.0;
+
+/// Footprint side of the reference atlas emitter, µm.
+pub const ATLAS_EMITTER_EXTENT_UM: f64 = 40.0;
+
+/// The standard atlas corner set, `seeds` replicas each: nominal
+/// (1.0 V / 25 °C) plus a cold-low-VDD and a hot-high-VDD corner —
+/// Sec. VI-C's operating envelope applied to localization.
+pub fn atlas_corners(seeds: usize) -> Vec<AtlasCorner> {
+    let base = [
+        ("nominal", 1.0, 25.0),
+        ("low-vdd-cold", 0.9, 0.0),
+        ("high-vdd-hot", 1.1, 85.0),
+    ];
+    let mut corners = Vec::with_capacity(3 * seeds.max(1));
+    for s in 0..seeds.max(1) as u64 {
+        for (i, &(label, vdd, temp_c)) in base.iter().enumerate() {
+            let label = if s == 0 {
+                label.to_string()
+            } else {
+                format!("{label}#{s}")
+            };
+            corners.push(AtlasCorner::new(
+                label,
+                vdd,
+                temp_c,
+                0xA71A_5000 + s * 101 + i as u64,
+            ));
+        }
+    }
+    corners
+}
+
+/// The atlas placement jobs: a `grid` × `grid` sweep of reference
+/// emitters over the die, evaluated at every corner (row-major sites,
+/// corners in order — deterministic submission order).
+pub fn atlas_jobs(chip: &TestChip, grid: usize, corners: &[AtlasCorner]) -> Vec<AtlasJob> {
+    let sites = sweep_grid(
+        chip.floorplan().die(),
+        grid,
+        grid,
+        ATLAS_GRID_MARGIN_UM,
+        ATLAS_EMITTER_EXTENT_UM,
+    );
+    let mut jobs = Vec::with_capacity(sites.len() * corners.len());
+    for corner in 0..corners.len() {
+        for &site in &sites {
+            jobs.push(AtlasJob::reference(site, corner));
+        }
+    }
+    jobs
+}
+
+/// Builds the atlas campaign (learning every corner's baseline on the
+/// engine) with the default sweep configuration.
+///
+/// # Panics
+///
+/// Never for the built-in chip and corner set.
+pub fn atlas_campaign<'c>(chip: &'c TestChip, engine: &Engine, seeds: usize) -> AtlasCampaign<'c> {
+    AtlasCampaign::new(
+        chip,
+        *engine,
+        PlacementSweepConfig::default(),
+        atlas_corners(seeds),
+    )
+    .expect("atlas campaign builds on the built-in chip")
+}
+
+/// Per-corner accuracy statistics of an atlas run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtlasCornerStats {
+    /// Corner label.
+    pub label: String,
+    /// Placements evaluated at this corner.
+    pub placements: usize,
+    /// Placements detected.
+    pub detected: usize,
+    /// Mean localization error over detected placements, µm.
+    pub mean_error_um: f64,
+    /// 95th-percentile error, µm.
+    pub p95_error_um: f64,
+    /// Worst-case error, µm.
+    pub worst_error_um: f64,
+    /// Mean distance from true positions to the nearest sensor centre,
+    /// µm (the sensor-granular floor).
+    pub mean_floor_um: f64,
+    /// Mean refined (amplitude-weighted-centroid) error, µm.
+    pub mean_centroid_error_um: f64,
+}
+
+/// Aggregates per-corner statistics (corners in campaign order).
+pub fn atlas_corner_stats(
+    corners: &[AtlasCorner],
+    outcomes: &[AtlasOutcome],
+) -> Vec<AtlasCornerStats> {
+    corners
+        .iter()
+        .enumerate()
+        .map(|(ci, corner)| {
+            let of_corner: Vec<&AtlasOutcome> =
+                outcomes.iter().filter(|o| o.corner == ci).collect();
+            let mut errors: Vec<f64> = of_corner
+                .iter()
+                .filter_map(|o| o.outcome.error_um)
+                .collect();
+            errors.sort_by(f64::total_cmp);
+            let detected = errors.len();
+            let mean = |v: &[f64]| {
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
+            };
+            let p95 = if errors.is_empty() {
+                0.0
+            } else {
+                errors[((errors.len() - 1) as f64 * 0.95).round() as usize]
+            };
+            let centroid_errors: Vec<f64> = of_corner
+                .iter()
+                .filter_map(|o| o.outcome.centroid_error_um)
+                .collect();
+            let floors: Vec<f64> = of_corner
+                .iter()
+                .map(|o| o.outcome.nearest_sensor_um)
+                .collect();
+            AtlasCornerStats {
+                label: corner.label.clone(),
+                placements: of_corner.len(),
+                detected,
+                mean_error_um: mean(&errors),
+                p95_error_um: p95,
+                worst_error_um: errors.last().copied().unwrap_or(0.0),
+                mean_floor_um: mean(&floors),
+                mean_centroid_error_um: mean(&centroid_errors),
+            }
+        })
+        .collect()
+}
+
+/// Renders the deterministic atlas report the `localize_atlas` binary
+/// prints: per-corner accuracy stats, the nominal corner's grid of
+/// errors, and the error-vs-distance-to-nearest-sensor trend —
+/// byte-identical at any worker count.
+pub fn atlas_report(corners: &[AtlasCorner], outcomes: &[AtlasOutcome], grid: usize) -> String {
+    let mut out = String::new();
+    let stats = atlas_corner_stats(corners, outcomes);
+    out.push_str(&format!(
+        "placements {} ({}x{} grid x {} corner(s))\n",
+        outcomes.len(),
+        grid,
+        grid,
+        corners.len()
+    ));
+    for (s, corner) in stats.iter().zip(corners) {
+        out.push_str(&format!(
+            "corner {:<14} ({:.2} V, {:>5.1} C): detected {}/{}  mean err {:>6.1} um  p95 {:>6.1} um  worst {:>6.1} um  centroid {:>6.1} um  floor {:>5.1} um\n",
+            s.label,
+            corner.vdd,
+            corner.temp_c,
+            s.detected,
+            s.placements,
+            s.mean_error_um,
+            s.p95_error_um,
+            s.worst_error_um,
+            s.mean_centroid_error_um,
+            s.mean_floor_um,
+        ));
+    }
+
+    // Grid of errors for the first corner, rows printed top-down so the
+    // page reads like the die (row-major sites from the lower-left).
+    let first: Vec<&AtlasOutcome> = outcomes.iter().filter(|o| o.corner == 0).collect();
+    if first.len() == grid * grid {
+        out.push_str(&format!("error grid (um), corner {}:\n", corners[0].label));
+        for iy in (0..grid).rev() {
+            let mut line = String::from(" ");
+            for ix in 0..grid {
+                let o = &first[iy * grid + ix].outcome;
+                match o.error_um {
+                    Some(e) => line.push_str(&format!(" {:>5}", format!("{e:.0}"))),
+                    None => line.push_str("  miss"),
+                }
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+
+    // Error vs distance to the nearest sensor centre, pooled over every
+    // corner: does accuracy degrade between sensors?
+    let buckets = [(0.0, 40.0), (40.0, 80.0), (80.0, 120.0), (120.0, f64::MAX)];
+    out.push_str("error vs distance-to-nearest-sensor-centre (all corners):\n");
+    for &(lo, hi) in &buckets {
+        let errs: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.outcome.nearest_sensor_um >= lo && o.outcome.nearest_sensor_um < hi)
+            .filter_map(|o| o.outcome.error_um)
+            .collect();
+        let label = if hi == f64::MAX {
+            format!("[{lo:.0}+ um)")
+        } else {
+            format!("[{lo:.0},{hi:.0}) um")
+        };
+        if errs.is_empty() {
+            out.push_str(&format!("  {label:<14} -\n"));
+        } else {
+            out.push_str(&format!(
+                "  {label:<14} mean err {:>6.1} um  (n={})\n",
+                errs.iter().sum::<f64>() / errs.len() as f64,
+                errs.len()
+            ));
+        }
+    }
+
+    // The worst placement, named so regressions are debuggable.
+    if let Some(worst) = outcomes
+        .iter()
+        .filter(|o| o.outcome.error_um.is_some())
+        .max_by(|a, b| {
+            a.outcome
+                .error_um
+                .unwrap_or(f64::MIN)
+                .total_cmp(&b.outcome.error_um.unwrap_or(f64::MIN))
+        })
+    {
+        let o = &worst.outcome;
+        out.push_str(&format!(
+            "worst placement: ({:.0}, {:.0}) um at corner {} -> sensor {:?}, err {:.1} um\n",
+            o.true_x_um,
+            o.true_y_um,
+            corners[worst.corner].label,
+            o.predicted_sensor.unwrap_or(usize::MAX),
+            o.error_um.unwrap_or(f64::NAN),
+        ));
+    }
     out
 }
 

@@ -24,6 +24,45 @@ pub fn engine_from_cli(args: &[String]) -> psa_runtime::Engine {
     }
 }
 
+/// Parses a positive-integer flag (`--seeds K` / `--seeds=K` style)
+/// from an argument list, exiting with status 2 and a clear message on
+/// a missing, zero, or non-integer value — the same contract `--jobs`
+/// has. Returns `default` when the flag is absent.
+pub fn positive_usize_arg(args: &[String], flag: &str, default: usize) -> usize {
+    match parse_positive_usize(args, flag) {
+        Ok(Some(v)) => v,
+        Ok(None) => default,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The fallible core of [`positive_usize_arg`], separated for tests.
+fn parse_positive_usize(args: &[String], flag: &str) -> Result<Option<usize>, String> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == flag {
+            iter.next()
+                .map(|v| v.as_str())
+                .ok_or_else(|| format!("{flag} requires a value (e.g. {flag} 2)"))?
+        } else {
+            match arg.strip_prefix(&format!("{flag}=")) {
+                Some(v) => v,
+                None => continue,
+            }
+        };
+        return match value.parse::<usize>() {
+            Ok(0) | Err(_) => Err(format!(
+                "invalid {flag} value `{value}`: expected a positive integer"
+            )),
+            Ok(k) => Ok(Some(k)),
+        };
+    }
+    Ok(None)
+}
+
 /// Parses `--bench-json [PATH]` / `--bench-json=PATH` from an argument
 /// list; a bare flag selects `default`. `None` when the flag is absent.
 pub fn bench_json_path(args: &[String], default: &str) -> Option<PathBuf> {
@@ -297,6 +336,31 @@ mod tests {
             bench_json_path(&args(&["--bench-json", "--jobs"]), "D.json"),
             Some(PathBuf::from("D.json"))
         );
+    }
+
+    #[test]
+    fn positive_usize_arg_variants() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_positive_usize(&args(&[]), "--seeds"), Ok(None));
+        assert_eq!(
+            parse_positive_usize(&args(&["--seeds", "3"]), "--seeds"),
+            Ok(Some(3))
+        );
+        assert_eq!(
+            parse_positive_usize(&args(&["--seeds=7"]), "--seeds"),
+            Ok(Some(7))
+        );
+        // Other flags pass through untouched.
+        assert_eq!(
+            parse_positive_usize(&args(&["--jobs", "2", "--grid=5"]), "--grid"),
+            Ok(Some(5))
+        );
+        for bad in [&["--seeds"][..], &["--seeds", "0"], &["--seeds=x"]] {
+            assert!(
+                parse_positive_usize(&args(bad), "--seeds").is_err(),
+                "{bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! writes. The comparison is deliberately loose — shared CI runners
 //! jitter — so only a large ratio over the seed (default 2.5×) on a
 //! non-trivial artifact (seed wall ≥ 50 ms) counts as a regression.
+//! The gate is two-sided: a non-trivial *current* artifact without a
+//! seed counterpart also fails, so a new bench stage cannot ride along
+//! ungated until its seed is committed.
 
 use std::collections::BTreeMap;
 
@@ -86,12 +89,16 @@ fn after_key<'a>(line: &'a str, key: &str) -> Option<&'a str> {
 pub enum Verdict {
     /// Current wall time is within `max_ratio` of the seed.
     Ok,
-    /// Seed wall time is under the noise floor; not gated.
+    /// Wall time is under the noise floor; not gated.
     Skipped,
     /// Artifact present in the seed but absent from the current run.
     Missing,
     /// Current wall time exceeds `max_ratio ×` seed.
     Regressed,
+    /// Artifact present in the current run but absent from the seed —
+    /// an ungated stage that would silently escape the trajectory; the
+    /// seed file must be regenerated and committed.
+    Unseeded,
 }
 
 /// One row of the regression report.
@@ -99,8 +106,9 @@ pub enum Verdict {
 pub struct Comparison {
     /// Artifact name.
     pub name: String,
-    /// Seed wall time, seconds.
-    pub seed_s: f64,
+    /// Seed wall time, seconds (`None` when the artifact has no seed
+    /// counterpart).
+    pub seed_s: Option<f64>,
     /// Current wall time, seconds (`None` when missing).
     pub current_s: Option<f64>,
     /// The verdict.
@@ -109,7 +117,8 @@ pub struct Comparison {
 
 /// Compares `current` against `seed`: every seed artifact with wall
 /// time ≥ `min_seed_s` must exist in `current` and run within
-/// `max_ratio ×` its seed time.
+/// `max_ratio ×` its seed time, and every non-trivial current artifact
+/// must have a seed counterpart (no stage rides along ungated).
 pub fn compare(
     seed: &BenchJson,
     current: &BenchJson,
@@ -121,7 +130,8 @@ pub fn compare(
         .iter()
         .map(|(n, w)| (n.as_str(), *w))
         .collect();
-    seed.artifacts
+    let mut comparisons: Vec<Comparison> = seed
+        .artifacts
         .iter()
         .map(|(name, seed_s)| {
             let current_s = current_by_name.get(name.as_str()).copied();
@@ -135,12 +145,36 @@ pub fn compare(
             };
             Comparison {
                 name: name.clone(),
-                seed_s: *seed_s,
+                seed_s: Some(*seed_s),
                 current_s,
                 verdict,
             }
         })
-        .collect()
+        .collect();
+    let seeded: std::collections::BTreeSet<&str> =
+        seed.artifacts.iter().map(|(n, _)| n.as_str()).collect();
+    for (name, current_s) in &current.artifacts {
+        if seeded.contains(name.as_str()) {
+            continue;
+        }
+        // A trivial new stage is not worth failing the gate over, but
+        // unlike the seeded side there is no committed wall time to key
+        // the skip on — only this run's jittery measurement. Demand a
+        // clear margin under the floor so a stage that hovers *at* the
+        // floor fails consistently instead of flapping run to run.
+        let verdict = if *current_s < min_seed_s / 2.0 {
+            Verdict::Skipped
+        } else {
+            Verdict::Unseeded
+        };
+        comparisons.push(Comparison {
+            name: name.clone(),
+            seed_s: None,
+            current_s: Some(*current_s),
+            verdict,
+        });
+    }
+    comparisons
 }
 
 /// Renders the comparison table plus a pass/fail tail line; the bool is
@@ -153,16 +187,16 @@ pub fn render_report(comparisons: &[Comparison], max_ratio: f64) -> (String, boo
     ));
     let mut failures = 0usize;
     for c in comparisons {
-        let (now, ratio) = match c.current_s {
-            Some(cur) => (
-                format!("{cur:.3}"),
-                if c.seed_s > 0.0 {
-                    format!("{:.2}x", cur / c.seed_s)
-                } else {
-                    "-".into()
-                },
-            ),
-            None => ("-".into(), "-".into()),
+        let seed = match c.seed_s {
+            Some(s) => format!("{s:.3}"),
+            None => "-".into(),
+        };
+        let (now, ratio) = match (c.current_s, c.seed_s) {
+            (Some(cur), Some(seed_s)) if seed_s > 0.0 => {
+                (format!("{cur:.3}"), format!("{:.2}x", cur / seed_s))
+            }
+            (Some(cur), _) => (format!("{cur:.3}"), "-".into()),
+            (None, _) => ("-".into(), "-".into()),
         };
         let verdict = match c.verdict {
             Verdict::Ok => "ok",
@@ -175,10 +209,14 @@ pub fn render_report(comparisons: &[Comparison], max_ratio: f64) -> (String, boo
                 failures += 1;
                 "REGRESSED"
             }
+            Verdict::Unseeded => {
+                failures += 1;
+                "NO SEED counterpart (regenerate and commit the seed)"
+            }
         };
         out.push_str(&format!(
-            "{:<20} {:>10.3} {:>10} {:>7}  {}\n",
-            c.name, c.seed_s, now, ratio, verdict
+            "{:<20} {:>10} {:>10} {:>7}  {}\n",
+            c.name, seed, now, ratio, verdict
         ));
     }
     let pass = failures == 0;
@@ -189,7 +227,8 @@ pub fn render_report(comparisons: &[Comparison], max_ratio: f64) -> (String, boo
         ));
     } else {
         out.push_str(&format!(
-            "bench gate: FAILED ({failures} artifact(s) regressed beyond {max_ratio}x or missing)\n"
+            "bench gate: FAILED ({failures} artifact(s) regressed beyond {max_ratio}x, \
+             missing, or unseeded)\n"
         ));
     }
     (out, pass)
@@ -275,11 +314,47 @@ mod tests {
     }
 
     #[test]
-    fn new_artifacts_in_current_are_not_gated() {
+    fn unseeded_artifacts_fail_the_gate() {
+        // A non-trivial current artifact without a seed counterpart used
+        // to pass silently; it must now fail loudly so new bench stages
+        // cannot ride along ungated.
         let seed = doc(&[("table1", 1.0)]);
         let current = doc(&[("table1", 1.0), ("brand_new", 99.0)]);
         let cmp = compare(&seed, &current, 2.5, 0.05);
-        assert_eq!(cmp.len(), 1);
+        assert_eq!(cmp.len(), 2);
+        assert_eq!(cmp[1].verdict, Verdict::Unseeded);
+        assert_eq!(cmp[1].seed_s, None);
+        let (report, pass) = render_report(&cmp, 2.5);
+        assert!(!pass);
+        assert!(report.contains("NO SEED counterpart"));
+        assert!(report.contains("bench gate: FAILED"));
+    }
+
+    #[test]
+    fn trivial_unseeded_artifacts_stay_below_the_floor() {
+        // The noise floor applies symmetrically: a sub-floor new stage
+        // is skipped, not failed.
+        let seed = doc(&[("table1", 1.0)]);
+        let current = doc(&[("table1", 1.0), ("tiny_new", 0.001)]);
+        let cmp = compare(&seed, &current, 2.5, 0.05);
+        assert_eq!(cmp[1].verdict, Verdict::Skipped);
         assert!(render_report(&cmp, 2.5).1);
+    }
+
+    #[test]
+    fn unseeded_skip_needs_a_clear_margin_under_the_floor() {
+        // The unseeded skip keys on this run's jittery measurement, not
+        // a committed seed time — a stage that hovers *at* the floor
+        // must fail on both sides of its jitter, not flap between
+        // Skipped and Unseeded across CI runs.
+        let seed = doc(&[("table1", 1.0)]);
+        for wall in [0.030, 0.045, 0.050, 0.055] {
+            let current = doc(&[("table1", 1.0), ("hovering", wall)]);
+            let cmp = compare(&seed, &current, 2.5, 0.05);
+            assert_eq!(cmp[1].verdict, Verdict::Unseeded, "wall {wall}");
+        }
+        let current = doc(&[("table1", 1.0), ("hovering", 0.020)]);
+        let cmp = compare(&seed, &current, 2.5, 0.05);
+        assert_eq!(cmp[1].verdict, Verdict::Skipped);
     }
 }

@@ -26,7 +26,24 @@ use psa_dsp::batch::SpectrumScratch;
 use psa_dsp::window::Window;
 use psa_field::induction::induced_emf_into;
 use psa_gatesim::activity::{ActivitySimulator, Source};
-use psa_gatesim::current::trace_to_currents_into;
+use psa_gatesim::current::{toggles_to_current_into, trace_to_currents_into};
+use psa_gatesim::synth::SyntheticTrojan;
+
+/// A synthetic emitter injected into an acquisition: its switching
+/// signature, per-toggle charge, and its (placement-derived) coupling
+/// into the selected sensor. The emitter rides the same
+/// toggles → current → EMF pipeline as the chip's fixed sources, so a
+/// placement sweep measures it with exactly the instrument model of the
+/// paper's bench.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectedEmitter<'e> {
+    /// The emitter's switching signature and drive.
+    pub trojan: &'e SyntheticTrojan,
+    /// Mean switching charge per toggle, fC.
+    pub charge_fc: f64,
+    /// Effective coupling into the measured sensor, Wb per A·m².
+    pub coupling: f64,
+}
 
 /// A set of digitized records from one sensor under one scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +143,8 @@ pub struct AcqContext<'c> {
     fullres: SpectrumScratch,
     display: SpectrumScratch,
     currents: Vec<(Source, Vec<f64>)>,
+    extra_toggles: Vec<f64>,
+    extra_current: Vec<f64>,
     flux: Vec<f64>,
     emf: Vec<f64>,
     concat: Vec<f64>,
@@ -147,6 +166,8 @@ impl<'c> AcqContext<'c> {
             fullres: SpectrumScratch::new(Window::Hann),
             display,
             currents: Vec::new(),
+            extra_toggles: Vec::new(),
+            extra_current: Vec::new(),
             flux: Vec::new(),
             emf: Vec::new(),
             concat: Vec::new(),
@@ -194,6 +215,45 @@ impl<'c> AcqContext<'c> {
         record_cycles: usize,
         out: &mut TraceSet,
     ) -> Result<(), CoreError> {
+        self.acquire_records(scenario, sensor, n_records, record_cycles, None, out)
+    }
+
+    /// [`acquire_len_into`](Self::acquire_len_into) with a synthetic
+    /// emitter superposed on the chip's activity — the placement-sweep
+    /// acquisition path. With `emitter.coupling == 0.0` or zero drive
+    /// the result is bit-identical to the plain acquisition.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`acquire_len_into`](Self::acquire_len_into).
+    pub fn acquire_len_with_emitter_into(
+        &mut self,
+        scenario: &Scenario,
+        sensor: SensorSelect,
+        n_records: usize,
+        record_cycles: usize,
+        emitter: InjectedEmitter<'_>,
+        out: &mut TraceSet,
+    ) -> Result<(), CoreError> {
+        self.acquire_records(
+            scenario,
+            sensor,
+            n_records,
+            record_cycles,
+            Some(emitter),
+            out,
+        )
+    }
+
+    fn acquire_records(
+        &mut self,
+        scenario: &Scenario,
+        sensor: SensorSelect,
+        n_records: usize,
+        record_cycles: usize,
+        emitter: Option<InjectedEmitter<'_>>,
+        out: &mut TraceSet,
+    ) -> Result<(), CoreError> {
         if n_records == 0 {
             return Err(CoreError::InvalidParameter {
                 what: "record count must be at least 1",
@@ -223,6 +283,7 @@ impl<'c> AcqContext<'c> {
             out.records.push(Vec::new());
         }
         for (rec_idx, record) in out.records.iter_mut().enumerate() {
+            let record_start_cycle = sim.cycle();
             let trace = sim.advance(record_cycles);
             trace_to_currents_into(
                 &trace,
@@ -232,12 +293,29 @@ impl<'c> AcqContext<'c> {
             );
             // Pair each source's current with its coupling (both follow
             // Source::ALL order).
-            let pairs: Vec<(&[f64], f64)> = self
+            let mut pairs: Vec<(&[f64], f64)> = self
                 .currents
                 .iter()
                 .zip(&couplings)
                 .map(|((_, wave), &k)| (wave.as_slice(), k))
                 .collect();
+            if let Some(e) = emitter {
+                // The emitter is pure in the absolute cycle, so records
+                // join seamlessly exactly like the chip's own sources.
+                e.trojan.toggles_into(
+                    record_start_cycle,
+                    record_cycles,
+                    calib::CLK_HZ,
+                    &mut self.extra_toggles,
+                );
+                toggles_to_current_into(
+                    &self.extra_toggles,
+                    e.charge_fc,
+                    calib::CLK_HZ,
+                    &mut self.extra_current,
+                );
+                pairs.push((self.extra_current.as_slice(), e.coupling));
+            }
             induced_emf_into(
                 &pairs,
                 calib::EFFECTIVE_MOMENT_AREA_M2,

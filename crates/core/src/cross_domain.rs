@@ -340,8 +340,9 @@ impl<'a> CrossDomainAnalyzer<'a> {
 use psa_dsp::peak::local_max_envelope;
 
 /// Collapses runs of adjacent excess bins into their strongest member,
-/// so one spectral line is one component.
-fn merge_adjacent_bins(hits: &[(usize, f64)]) -> Vec<(usize, f64)> {
+/// so one spectral line is one component (shared with the placement
+/// sweep in [`crate::atlas`]).
+pub(crate) fn merge_adjacent_bins(hits: &[(usize, f64)]) -> Vec<(usize, f64)> {
     if hits.is_empty() {
         return Vec::new();
     }

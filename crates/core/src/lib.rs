@@ -32,6 +32,8 @@
 //! * [`monitor`] — the streaming run-time monitor: record streams under
 //!   activation schedules, sliding spectral detection, typed
 //!   cycle-stamped events, and per-session MTTD reports.
+//! * [`atlas`] — the localization-accuracy atlas: parametric synthetic-
+//!   Trojan placement sweeps scored as localization error in µm.
 //! * [`report`] — plain-text table rendering for the bench harness.
 //!
 //! # Example
@@ -55,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod acquisition;
+pub mod atlas;
 pub mod calib;
 pub mod chip;
 pub mod cross_domain;

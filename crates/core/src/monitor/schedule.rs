@@ -165,12 +165,9 @@ impl ActivationSchedule {
     /// per-trace seeding of the batch MTTD replay.
     pub fn scenario_at(&self, record: usize) -> Scenario {
         let mut scenario = self.base.clone();
-        let mut active: Vec<TrojanKind> = scenario
-            .trojan
-            .iter()
-            .chain(scenario.extra_trojans.iter())
-            .copied()
-            .collect();
+        // Deduplicated: a base scenario listing a kind as both primary
+        // and extra must not re-emit the duplicate at every record.
+        let mut active: Vec<TrojanKind> = scenario.active_trojans();
         let mut vdd_ramp: Option<Ramp> = None;
         let mut temp_ramp: Option<Ramp> = None;
 
@@ -297,6 +294,27 @@ mod tests {
         let at3 = s.scenario_at(3);
         assert_eq!(at3.trojan, Some(TrojanKind::T3));
         assert!(at3.extra_trojans.is_empty());
+    }
+
+    #[test]
+    fn base_scenario_duplicates_are_deduped_per_record() {
+        // A base scenario that lists one kind as both primary and extra
+        // (possible through direct field construction) must not
+        // double-activate it at every stream record.
+        let base = Scenario {
+            trojan: Some(TrojanKind::T2),
+            extra_trojans: vec![TrojanKind::T2, TrojanKind::T4],
+            ..Scenario::baseline()
+        };
+        let s = ActivationSchedule::constant(base, 4)
+            .step(2, ScheduleChange::TrojanOff(TrojanKind::T4));
+        let at1 = s.scenario_at(1);
+        assert_eq!(at1.trojan, Some(TrojanKind::T2));
+        assert_eq!(at1.extra_trojans, vec![TrojanKind::T4]);
+        // TrojanOff removes the (single) activation entirely.
+        let at2 = s.scenario_at(2);
+        assert_eq!(at2.trojan, Some(TrojanKind::T2));
+        assert!(at2.extra_trojans.is_empty());
     }
 
     #[test]

@@ -192,18 +192,11 @@ impl SlidingDetector {
     ) -> Result<LaneObservation, CoreError> {
         let lane = &mut self.lanes[lane_idx];
         stream.pull_scenario_into(ctx, scenario, lane.sensor, &mut lane.fresh)?;
-
-        // Rolling averaging window: move the new record in; recycle the
-        // evicted record's buffer for the next pull.
-        lane.window.fs_hz = lane.fresh.fs_hz;
-        lane.window.sensor = lane.fresh.sensor;
-        lane.window
-            .records
-            .push(std::mem::take(&mut lane.fresh.records[0]));
-        if lane.window.records.len() > self.config.window_records {
-            let evicted = lane.window.records.remove(0);
-            lane.fresh.records[0] = evicted;
-        }
+        roll_window(
+            &mut lane.window,
+            &mut lane.fresh,
+            self.config.window_records,
+        );
         if lane.window.records.len() < self.config.min_window_records {
             // Warm fill: the window is still too shallow for a stable
             // spectrum; no comparison, no state-machine movement.
@@ -231,7 +224,7 @@ impl SlidingDetector {
             top_excess_db: 0.0,
             spec: Vec::new(),
         };
-        if let Some(&(bin, excess)) = hits.first() {
+        if let Some((bin, excess)) = top_hit(&hits) {
             lane.quiet_ticks = 0;
             lane.quiet_since_recalib = 0;
             obs.top_bin = Some(bin);
@@ -283,6 +276,33 @@ impl SlidingDetector {
     }
 }
 
+/// The maximum-excess hit: "top" means the strongest bin, not the
+/// lowest-frequency one. [`peak::excess_over_baseline_db`] documents a
+/// descending-excess sort, but the report quantity must not silently
+/// depend on a neighbour module's ordering contract.
+fn top_hit(hits: &[(usize, f64)]) -> Option<(usize, f64)> {
+    hits.iter().copied().max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+/// Rolls one pulled record (`fresh.records[0]`) into the window.
+///
+/// During warm fill the window still needs a slot of its own, so the
+/// pulled samples are *copied* in and `fresh` keeps its buffer — a
+/// `mem::take` here would leave `fresh` empty and force the next pull to
+/// re-allocate. Once the window is full, the oldest record's buffer is
+/// swapped out through `fresh`, so steady-state ticks never allocate.
+fn roll_window(window: &mut TraceSet, fresh: &mut TraceSet, window_records: usize) {
+    window.fs_hz = fresh.fs_hz;
+    window.sensor = fresh.sensor;
+    if window.records.len() < window_records {
+        window.records.push(fresh.records[0].clone());
+    } else {
+        let mut oldest = window.records.remove(0);
+        std::mem::swap(&mut oldest, &mut fresh.records[0]);
+        window.records.push(oldest);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,5 +339,88 @@ mod tests {
         assert_eq!(ok.lanes(), 1);
         assert_eq!(ok.sensors(), vec![0]);
         assert!(!ok.any_alarmed());
+    }
+
+    #[test]
+    fn top_hit_is_max_excess_not_first_listed() {
+        // Regression: two hits with the larger excess at the *higher*
+        // bin — "top" must follow the excess, in either list order.
+        assert_eq!(top_hit(&[(3, 12.0), (90, 25.0)]), Some((90, 25.0)));
+        assert_eq!(top_hit(&[(90, 25.0), (3, 12.0)]), Some((90, 25.0)));
+        assert_eq!(top_hit(&[]), None);
+    }
+
+    #[test]
+    fn excess_hits_arrive_sorted_by_descending_excess() {
+        // The ordering contract `hits.first()` used to lean on, pinned
+        // where the detector consumes it: flat baseline, two emergent
+        // bins, the stronger at the higher frequency.
+        let baseline = vec![-80.0; 128];
+        let mut test = baseline.clone();
+        test[10] = -68.0; // 12 dB excess
+        test[100] = -55.0; // 25 dB excess
+        let hits = peak::excess_over_baseline_db(&test, &baseline, 10.0);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, 100, "descending excess puts bin 100 first");
+        assert_eq!(top_hit(&hits), Some((100, 25.0)));
+    }
+
+    #[test]
+    fn window_roll_recycles_buffers_and_never_starves_fresh() {
+        const LEN: usize = 64;
+        let depth = 3;
+        let mut fresh = TraceSet {
+            records: vec![Vec::with_capacity(LEN)],
+            fs_hz: 1.0,
+            sensor: crate::chip::SensorSelect::Psa(0),
+        };
+        let mut window = TraceSet {
+            records: Vec::new(),
+            fs_hz: 0.0,
+            sensor: crate::chip::SensorSelect::Psa(0),
+        };
+        let ptrs = |window: &TraceSet, fresh: &TraceSet| -> Vec<usize> {
+            let mut p: Vec<usize> = window
+                .records
+                .iter()
+                .chain(fresh.records.iter())
+                .map(|r| r.as_ptr() as usize)
+                .collect();
+            p.sort_unstable();
+            p
+        };
+        let mut steady_ptrs: Option<Vec<usize>> = None;
+        for tick in 0..20usize {
+            // Simulate the stream pull: refill `fresh` in place. The
+            // recycling invariant under test is that every pull after
+            // the first finds a full-capacity buffer waiting.
+            if tick > 0 {
+                assert!(
+                    fresh.records[0].capacity() >= LEN,
+                    "tick {tick}: fresh buffer lost its capacity"
+                );
+            }
+            fresh.records[0].clear();
+            fresh.records[0].extend((0..LEN).map(|i| (tick * LEN + i) as f64));
+            roll_window(&mut window, &mut fresh, depth);
+
+            assert_eq!(window.records.len(), depth.min(tick + 1));
+            // The window holds the last `depth` pulls, oldest first.
+            let oldest_tick = (tick + 1).saturating_sub(depth);
+            for (slot, t) in (oldest_tick..=tick).enumerate() {
+                assert_eq!(window.records[slot][0], (t * LEN) as f64);
+            }
+            // Steady state: the buffer set is closed — records recycle
+            // between the window and `fresh`, nothing is allocated.
+            if window.records.len() == depth {
+                let now = ptrs(&window, &fresh);
+                match &steady_ptrs {
+                    None => steady_ptrs = Some(now),
+                    Some(expect) => {
+                        assert_eq!(&now, expect, "tick {tick}: buffer set changed")
+                    }
+                }
+            }
+        }
     }
 }

@@ -146,6 +146,26 @@ impl Scenario {
         self
     }
 
+    /// The deduplicated active-Trojan set: the primary first, then the
+    /// extras in first-occurrence order with repeats (including a kind
+    /// listed both as primary *and* extra) removed.
+    ///
+    /// [`trojans_active`](Self::trojans_active) never produces
+    /// duplicates, but the fields are public and schedule code rebuilds
+    /// them record by record — every consumer of "which Trojans are on"
+    /// goes through this so a duplicated kind activates once.
+    pub fn active_trojans(&self) -> Vec<TrojanKind> {
+        let mut seen = [false; 4];
+        let mut out = Vec::with_capacity(1 + self.extra_trojans.len());
+        for &k in self.trojan.iter().chain(self.extra_trojans.iter()) {
+            if !seen[k.index()] {
+                seen[k.index()] = true;
+                out.push(k);
+            }
+        }
+        out
+    }
+
     /// Builds the gate-level simulator configuration for this scenario.
     ///
     /// T2's activation is driven by its plaintext trigger (`16'hAAAA`
@@ -154,7 +174,7 @@ impl Scenario {
     pub fn chip_config(&self) -> ChipConfig {
         let mut enables = [false; 4];
         let mut force_t2 = false;
-        for kind in self.trojan.iter().chain(self.extra_trojans.iter()) {
+        for kind in self.active_trojans() {
             match kind {
                 TrojanKind::T2 => force_t2 = true,
                 other => enables[other.index()] = true,
@@ -253,6 +273,45 @@ mod tests {
         ]);
         assert_eq!(s.trojan, Some(TrojanKind::T4));
         assert_eq!(s.extra_trojans, vec![TrojanKind::T1, TrojanKind::T3]);
+    }
+
+    #[test]
+    fn kind_listed_as_primary_and_extra_activates_once() {
+        // The fields are public: direct construction can duplicate a
+        // kind across primary and extras. The active set must collapse
+        // it to one activation.
+        let s = Scenario {
+            trojan: Some(TrojanKind::T1),
+            extra_trojans: vec![TrojanKind::T1, TrojanKind::T3, TrojanKind::T3],
+            ..Scenario::baseline()
+        };
+        assert_eq!(s.active_trojans(), vec![TrojanKind::T1, TrojanKind::T3]);
+        let cfg = s.chip_config();
+        assert_eq!(cfg.trojan_enables.iter().filter(|&&e| e).count(), 2);
+        assert!(cfg.trojan_enables[TrojanKind::T1.index()]);
+        assert!(cfg.trojan_enables[TrojanKind::T3.index()]);
+        // T2 duplicated the same way is one trigger force.
+        let t2 = Scenario {
+            trojan: Some(TrojanKind::T2),
+            extra_trojans: vec![TrojanKind::T2],
+            ..Scenario::baseline()
+        };
+        assert_eq!(t2.active_trojans(), vec![TrojanKind::T2]);
+        assert!(t2.chip_config().force_t2_trigger);
+    }
+
+    #[test]
+    fn active_trojans_orders_primary_first() {
+        let s = Scenario {
+            trojan: Some(TrojanKind::T4),
+            extra_trojans: vec![TrojanKind::T1, TrojanKind::T4, TrojanKind::T2],
+            ..Scenario::baseline()
+        };
+        assert_eq!(
+            s.active_trojans(),
+            vec![TrojanKind::T4, TrojanKind::T1, TrojanKind::T2]
+        );
+        assert!(Scenario::baseline().active_trojans().is_empty());
     }
 
     #[test]

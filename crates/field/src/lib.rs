@@ -12,6 +12,8 @@
 //! * [`biot_savart`] — fields of straight wire segments (used for wire-
 //!   level checks and the probe models).
 //! * [`coupling`] — precomputed cluster→sensor coupling matrices.
+//! * [`emitter`] — on-demand coupling rows for placeable synthetic
+//!   emitters (the localization-accuracy atlas).
 //! * [`induction`] — Faraday induction: v(t) = −Σ M·dI/dt.
 //! * [`noise`] — Johnson–Nyquist, 1/f, and ambient noise generators.
 //! * [`probe`] — external probe geometries (Langer LF1, ICR HH100-6) and
@@ -39,6 +41,7 @@
 pub mod biot_savart;
 pub mod coupling;
 pub mod dipole;
+pub mod emitter;
 pub mod error;
 pub mod induction;
 pub mod noise;

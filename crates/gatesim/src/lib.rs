@@ -19,6 +19,9 @@
 //!   encryption schedule.
 //! * [`current`] — converts toggle counts into supply-current waveforms
 //!   i(t) at the EM simulation rate (triangular per-edge pulses).
+//! * [`synth`] — parametric *synthetic* Trojan emitters (drive strength,
+//!   switching signature) placeable anywhere on the die, the emission
+//!   side of the localization-accuracy atlas.
 //!
 //! # Example
 //!
@@ -41,6 +44,7 @@ pub mod current;
 pub mod error;
 pub mod lfsr;
 pub mod netlist;
+pub mod synth;
 pub mod trojan;
 pub mod uart;
 

@@ -1,0 +1,244 @@
+//! Parametric synthetic Trojan emitters for localization sweeps.
+//!
+//! The four hardware Trojans of [`crate::trojan`] sit at the five fixed
+//! sites of the evaluation chip, which makes localization accuracy
+//! measurable only as hit/miss at known positions. A [`SyntheticTrojan`]
+//! is a *placeable* emitter: the same 11-cycle chip pattern (so it
+//! raises the 48/84 MHz sideband family every real Trojan shares), a
+//! configurable drive strength, and a configurable switching signature —
+//! but no fixed floorplan home. `psa-layout` assigns it a position and
+//! `psa-field` derives its coupling row on demand, so an atlas campaign
+//! can sweep hundreds of placements across the die.
+//!
+//! Unlike the stateful [`Trojan`](crate::trojan::Trojan), a synthetic
+//! emitter's activity is a **pure function of the absolute cycle**
+//! (chipping telegraphs are hash-derived rather than LFSR-stepped).
+//! That purity is what lets placements fan out across the campaign
+//! engine with byte-identical results at any worker count.
+
+use crate::trojan::CHIP_PATTERN_11;
+use std::f64::consts::PI;
+
+/// The per-cycle payload envelope of a synthetic emitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SyntheticSignature {
+    /// Amplitude-modulated carrier (T1-like), `0.5·(1 + sin 2πft)`.
+    AmCarrier {
+        /// Carrier frequency, Hz.
+        carrier_hz: f64,
+    },
+    /// Constant full-drive envelope (T4-like power hog, no ramp).
+    Constant,
+    /// Two-level chipping telegraph (T3-like): a hash-derived pseudo-
+    /// noise bit per chip period selects 1.0 or 0.45.
+    Chipping {
+        /// Chip period in clock cycles.
+        chip_cycles: u64,
+    },
+    /// Periodic burst (T2-like): full drive for `active_cycles` out of
+    /// every `period_cycles`.
+    Burst {
+        /// Burst repetition period, cycles.
+        period_cycles: u64,
+        /// Active cycles per period.
+        active_cycles: u64,
+    },
+}
+
+/// A parametric, placeable Trojan emitter.
+///
+/// # Example
+///
+/// ```
+/// use psa_gatesim::synth::SyntheticTrojan;
+/// let t = SyntheticTrojan::am_reference(800.0);
+/// // Pure in the cycle index: same cycle, same toggles.
+/// assert_eq!(t.toggles_at(977, 33.0e6), t.toggles_at(977, 33.0e6));
+/// // Zero drive is exactly silent.
+/// assert_eq!(SyntheticTrojan::am_reference(0.0).toggles_at(3, 33.0e6), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyntheticTrojan {
+    /// Equivalent standard-cell count of the payload (drive strength).
+    pub drive_cells: f64,
+    /// Fraction of the cells toggling on an active payload cycle.
+    pub activity_factor: f64,
+    /// The payload envelope.
+    pub signature: SyntheticSignature,
+    /// Seed for hash-derived signatures (chipping telegraph).
+    pub seed: u64,
+}
+
+impl SyntheticTrojan {
+    /// The reference atlas emitter: a 750 kHz AM carrier (the paper's
+    /// T1 signature) at the given drive strength, 0.8 activity factor.
+    pub fn am_reference(drive_cells: f64) -> Self {
+        SyntheticTrojan {
+            drive_cells,
+            activity_factor: 0.8,
+            signature: SyntheticSignature::AmCarrier {
+                carrier_hz: 750.0e3,
+            },
+            seed: 0x5EED_A71A,
+        }
+    }
+
+    /// Payload envelope ∈ [0, 1] at an absolute cycle.
+    pub fn envelope_at(&self, cycle: u64, clk_hz: f64) -> f64 {
+        match self.signature {
+            SyntheticSignature::AmCarrier { carrier_hz } => {
+                let t = cycle as f64 / clk_hz;
+                0.5 * (1.0 + (2.0 * PI * carrier_hz * t).sin())
+            }
+            SyntheticSignature::Constant => 1.0,
+            SyntheticSignature::Chipping { chip_cycles } => {
+                let chip = cycle / chip_cycles.max(1);
+                if splitmix64(self.seed ^ chip) & 1 == 1 {
+                    1.0
+                } else {
+                    0.45
+                }
+            }
+            SyntheticSignature::Burst {
+                period_cycles,
+                active_cycles,
+            } => {
+                if cycle % period_cycles.max(1) < active_cycles {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Gate-output toggles contributed at an absolute cycle: the common
+    /// 11-cycle chip pattern × the signature envelope × the drive.
+    pub fn toggles_at(&self, cycle: u64, clk_hz: f64) -> f64 {
+        let pattern = CHIP_PATTERN_11[(cycle % 11) as usize];
+        if pattern == 0.0 {
+            return 0.0;
+        }
+        pattern * self.envelope_at(cycle, clk_hz) * self.drive_cells * self.activity_factor
+    }
+
+    /// Fills `out` (cleared first) with the toggles of `n` consecutive
+    /// cycles starting at `start_cycle` — the per-record synthesis hook
+    /// the acquisition hot path reuses a buffer for.
+    pub fn toggles_into(&self, start_cycle: u64, n: usize, clk_hz: f64, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(n);
+        for c in 0..n as u64 {
+            out.push(self.toggles_at(start_cycle + c, clk_hz));
+        }
+    }
+}
+
+/// SplitMix64 step: one deterministic 64-bit hash (same constants as
+/// the canonical `psa_dsp::rng::splitmix64`; kept local because
+/// `psa-gatesim` is a base crate with no dsp dependency, mirroring
+/// `psa-layout`'s placement jitter RNG).
+fn splitmix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CLK: f64 = 33.0e6;
+
+    #[test]
+    fn pure_in_cycle_and_window_invariant() {
+        let t = SyntheticTrojan::am_reference(500.0);
+        let mut whole = Vec::new();
+        t.toggles_into(0, 220, CLK, &mut whole);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        t.toggles_into(0, 110, CLK, &mut a);
+        t.toggles_into(110, 110, CLK, &mut b);
+        a.extend_from_slice(&b);
+        assert_eq!(whole, a, "windows must concatenate seamlessly");
+    }
+
+    #[test]
+    fn zero_drive_is_silent() {
+        let t = SyntheticTrojan::am_reference(0.0);
+        for c in 0..500 {
+            assert_eq!(t.toggles_at(c, CLK), 0.0);
+        }
+    }
+
+    #[test]
+    fn carries_the_11_cycle_pattern() {
+        let t = SyntheticTrojan {
+            signature: SyntheticSignature::Constant,
+            ..SyntheticTrojan::am_reference(1000.0)
+        };
+        for c in 0..110u64 {
+            let expect = CHIP_PATTERN_11[(c % 11) as usize] * 1000.0 * 0.8;
+            assert_eq!(t.toggles_at(c, CLK), expect);
+        }
+    }
+
+    #[test]
+    fn am_envelope_oscillates() {
+        let t = SyntheticTrojan::am_reference(1000.0);
+        // 33 MHz / 750 kHz = 44 cycles per period; envelope must swing.
+        let env: Vec<f64> = (0..88).map(|c| t.envelope_at(c, CLK)).collect();
+        let max = env.iter().cloned().fold(f64::MIN, f64::max);
+        let min = env.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 0.9 && min < 0.1, "swing {min}..{max}");
+    }
+
+    #[test]
+    fn chipping_is_two_level_and_seeded() {
+        let t = SyntheticTrojan {
+            signature: SyntheticSignature::Chipping { chip_cycles: 16 },
+            ..SyntheticTrojan::am_reference(1000.0)
+        };
+        let levels: std::collections::BTreeSet<u64> = (0..2000)
+            .map(|c| (t.envelope_at(c, CLK) * 100.0).round() as u64)
+            .collect();
+        assert_eq!(levels.len(), 2, "levels {levels:?}");
+        let other = SyntheticTrojan {
+            seed: 999,
+            ..t.clone()
+        };
+        let differs = (0..2000).any(|c| t.envelope_at(c, CLK) != other.envelope_at(c, CLK));
+        assert!(differs, "seed must change the telegraph");
+    }
+
+    #[test]
+    fn burst_duty_cycle() {
+        let t = SyntheticTrojan {
+            signature: SyntheticSignature::Burst {
+                period_cycles: 100,
+                active_cycles: 10,
+            },
+            ..SyntheticTrojan::am_reference(1000.0)
+        };
+        let on = (0..1000).filter(|&c| t.envelope_at(c, CLK) > 0.0).count();
+        assert_eq!(on, 100);
+    }
+
+    #[test]
+    fn degenerate_periods_do_not_panic() {
+        let chip = SyntheticTrojan {
+            signature: SyntheticSignature::Chipping { chip_cycles: 0 },
+            ..SyntheticTrojan::am_reference(10.0)
+        };
+        let burst = SyntheticTrojan {
+            signature: SyntheticSignature::Burst {
+                period_cycles: 0,
+                active_cycles: 0,
+            },
+            ..SyntheticTrojan::am_reference(10.0)
+        };
+        let _ = chip.toggles_at(7, CLK);
+        let _ = burst.toggles_at(7, CLK);
+    }
+}

@@ -1,0 +1,198 @@
+//! Synthetic-emitter placement: sites at arbitrary floorplan
+//! coordinates and the parametric sweep grids of the localization atlas.
+//!
+//! The evaluation chip fixes its Trojans at five sites; an
+//! [`EmitterSite`] instead names any point on the die (with a small
+//! square extent standing in for the payload's placed footprint), so
+//! localization accuracy can be measured as a function of *where* the
+//! emitter sits. [`sweep_grid`] enumerates the regular placement grids
+//! the atlas campaigns fan out over.
+
+use crate::die::Die;
+use crate::error::LayoutError;
+use crate::geom::{Point, Rect};
+
+/// A synthetic emitter's placement: centre plus square extent.
+///
+/// # Example
+///
+/// ```
+/// use psa_layout::emitter::EmitterSite;
+/// use psa_layout::Point;
+/// let site = EmitterSite::new(Point::new(500.0, 500.0), 40.0);
+/// assert_eq!(site.dipole_points(2).len(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmitterSite {
+    /// Site centre on the die, µm.
+    pub center: Point,
+    /// Side length of the square payload footprint, µm (0 collapses the
+    /// site to a single point dipole).
+    pub extent_um: f64,
+}
+
+impl EmitterSite {
+    /// A site centred at `center` with a square footprint of side
+    /// `extent_um`.
+    pub fn new(center: Point, extent_um: f64) -> Self {
+        EmitterSite {
+            center,
+            extent_um: extent_um.max(0.0),
+        }
+    }
+
+    /// The site's footprint rectangle (a degenerate point for zero
+    /// extent).
+    pub fn footprint(&self) -> Rect {
+        let h = self.extent_um / 2.0;
+        Rect::new(
+            self.center.x - h,
+            self.center.y - h,
+            self.center.x + h,
+            self.center.y + h,
+        )
+    }
+
+    /// Checks the whole footprint lies on the die.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::OffDie`] when any footprint corner falls
+    /// outside the die outline.
+    pub fn validate_on(&self, die: &Die) -> Result<(), LayoutError> {
+        let outline = die.outline();
+        let fp = self.footprint();
+        if outline.contains(fp.min()) && outline.contains(fp.max()) {
+            Ok(())
+        } else {
+            Err(LayoutError::OffDie {
+                x_um: self.center.x,
+                y_um: self.center.y,
+            })
+        }
+    }
+
+    /// Dipole sample points covering the footprint: a `per_side` ×
+    /// `per_side` grid of tile centres (a single centre point for
+    /// `per_side <= 1` or zero extent). The EM side averages unit-moment
+    /// dipoles at these points, smoothing the near field the way a
+    /// placed payload's cell cluster would.
+    pub fn dipole_points(&self, per_side: usize) -> Vec<Point> {
+        if per_side <= 1 || self.extent_um == 0.0 {
+            return vec![self.center];
+        }
+        let n = per_side;
+        let fp = self.footprint();
+        let step = self.extent_um / n as f64;
+        let mut pts = Vec::with_capacity(n * n);
+        for iy in 0..n {
+            for ix in 0..n {
+                pts.push(Point::new(
+                    fp.min().x + (ix as f64 + 0.5) * step,
+                    fp.min().y + (iy as f64 + 0.5) * step,
+                ));
+            }
+        }
+        pts
+    }
+}
+
+/// A regular `nx` × `ny` grid of emitter sites across the die, inset by
+/// `margin_um` from each edge — the atlas's standard placement sweep.
+/// Sites are returned row-major from the lower-left corner
+/// (deterministic submission order for the campaign engine).
+pub fn sweep_grid(
+    die: &Die,
+    nx: usize,
+    ny: usize,
+    margin_um: f64,
+    extent_um: f64,
+) -> Vec<EmitterSite> {
+    let outline = die.outline();
+    let x0 = outline.min().x + margin_um;
+    let y0 = outline.min().y + margin_um;
+    let w = (outline.width() - 2.0 * margin_um).max(0.0);
+    let h = (outline.height() - 2.0 * margin_um).max(0.0);
+    let mut sites = Vec::with_capacity(nx * ny);
+    for iy in 0..ny {
+        for ix in 0..nx {
+            let fx = if nx > 1 {
+                ix as f64 / (nx - 1) as f64
+            } else {
+                0.5
+            };
+            let fy = if ny > 1 {
+                iy as f64 / (ny - 1) as f64
+            } else {
+                0.5
+            };
+            sites.push(EmitterSite::new(
+                Point::new(x0 + fx * w, y0 + fy * h),
+                extent_um,
+            ));
+        }
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footprint_and_validation() {
+        let die = Die::tsmc65_1mm();
+        let ok = EmitterSite::new(Point::new(500.0, 500.0), 40.0);
+        assert!(ok.validate_on(&die).is_ok());
+        assert_eq!(ok.footprint(), Rect::new(480.0, 480.0, 520.0, 520.0));
+
+        // Centre on-die but footprint spilling over the edge is off-die.
+        let edge = EmitterSite::new(Point::new(5.0, 500.0), 40.0);
+        assert!(matches!(
+            edge.validate_on(&die),
+            Err(LayoutError::OffDie { .. })
+        ));
+        // Centre itself outside.
+        let outside = EmitterSite::new(Point::new(-10.0, 500.0), 0.0);
+        assert!(outside.validate_on(&die).is_err());
+    }
+
+    #[test]
+    fn dipole_points_cover_the_footprint() {
+        let site = EmitterSite::new(Point::new(100.0, 200.0), 40.0);
+        let pts = site.dipole_points(2);
+        assert_eq!(pts.len(), 4);
+        let fp = site.footprint();
+        for p in &pts {
+            assert!(fp.contains(*p), "{p} outside {fp}");
+        }
+        // Centroid of the grid is the site centre.
+        let cx = pts.iter().map(|p| p.x).sum::<f64>() / pts.len() as f64;
+        let cy = pts.iter().map(|p| p.y).sum::<f64>() / pts.len() as f64;
+        assert!((cx - 100.0).abs() < 1e-9 && (cy - 200.0).abs() < 1e-9);
+        // Degenerate requests collapse to the centre point.
+        assert_eq!(site.dipole_points(0), vec![site.center]);
+        assert_eq!(
+            EmitterSite::new(Point::new(1.0, 2.0), 0.0).dipole_points(3),
+            vec![Point::new(1.0, 2.0)]
+        );
+    }
+
+    #[test]
+    fn sweep_grid_shape_and_bounds() {
+        let die = Die::tsmc65_1mm();
+        let sites = sweep_grid(&die, 6, 6, 60.0, 40.0);
+        assert_eq!(sites.len(), 36);
+        for s in &sites {
+            assert!(s.validate_on(&die).is_ok(), "site {} off-die", s.center);
+        }
+        // Row-major from lower-left: first site at the margin corner.
+        assert_eq!(sites[0].center, Point::new(60.0, 60.0));
+        assert_eq!(sites[5].center, Point::new(940.0, 60.0));
+        assert_eq!(sites[35].center, Point::new(940.0, 940.0));
+        // A 1×1 grid sits at the die centre.
+        let one = sweep_grid(&die, 1, 1, 60.0, 0.0);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].center, Point::new(500.0, 500.0));
+    }
+}

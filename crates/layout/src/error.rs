@@ -31,6 +31,13 @@ pub enum LayoutError {
         /// Cells that fit.
         capacity: usize,
     },
+    /// An emitter site (centre plus extent) falls outside the die.
+    OffDie {
+        /// Requested site centre x, µm.
+        x_um: f64,
+        /// Requested site centre y, µm.
+        y_um: f64,
+    },
 }
 
 impl fmt::Display for LayoutError {
@@ -53,6 +60,12 @@ impl fmt::Display for LayoutError {
                 f,
                 "placement overflow: {requested} cells requested, {capacity} fit"
             ),
+            LayoutError::OffDie { x_um, y_um } => {
+                write!(
+                    f,
+                    "emitter site at ({x_um}, {y_um}) um falls outside the die"
+                )
+            }
         }
     }
 }
@@ -75,6 +88,10 @@ mod tests {
             LayoutError::RegionOverflow {
                 requested: 10,
                 capacity: 5,
+            },
+            LayoutError::OffDie {
+                x_um: -3.0,
+                y_um: 40.0,
             },
         ] {
             assert!(!e.to_string().is_empty());

@@ -16,6 +16,8 @@
 //!   `PSA_control` and Trojans T1–T4, with the gate counts of Table II.
 //! * [`placement`] — deterministic row-based placement of cells into
 //!   module regions, and clustering of cells into EM source tiles.
+//! * [`emitter`] — synthetic-emitter sites at arbitrary coordinates and
+//!   the parametric sweep grids of the localization-accuracy atlas.
 //! * [`pins`] — the QFN IO pin assignment of Fig 2.
 //!
 //! # Example
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod die;
+pub mod emitter;
 pub mod error;
 pub mod floorplan;
 pub mod geom;

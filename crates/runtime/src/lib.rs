@@ -23,6 +23,9 @@
 //!   log) fanned across workers as single jobs, with submission-order
 //!   outcome collection and campaign-level MTTD / false-alarm /
 //!   localization summaries.
+//! * [`atlas`] — localization-accuracy atlas campaigns: synthetic-
+//!   Trojan placements × VDD/temp corners × seeds fanned across
+//!   workers, with per-corner baselines learned in parallel first.
 //!
 //! ## Determinism
 //!
@@ -43,10 +46,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atlas;
 pub mod campaign;
 pub mod engine;
 pub mod monitor;
 
+pub use atlas::{AtlasCampaign, AtlasCorner, AtlasJob, AtlasOutcome};
 pub use campaign::{AcquireJob, Campaign};
 pub use engine::Engine;
 pub use monitor::{MonitorCampaign, MonitorJob, MonitorOutcome, MonitorSummary};
