@@ -24,6 +24,20 @@ pub enum ArrayError {
         /// Number of independent cycles found.
         count: usize,
     },
+    /// A node rectangle collapsed to a line or a point (`r0 == r1` or
+    /// `c0 == c1`): the four "corners" are not distinct switches, so the
+    /// programming would close the same crossing more than once and
+    /// cannot form a loop.
+    DegenerateRectangle {
+        /// First corner row.
+        r0: usize,
+        /// First corner column.
+        c0: usize,
+        /// Opposite corner row.
+        r1: usize,
+        /// Opposite corner column.
+        c1: usize,
+    },
     /// A parameter was invalid.
     InvalidParameter {
         /// Human-readable description.
@@ -52,6 +66,10 @@ impl fmt::Display for ArrayError {
             ArrayError::MultipleLoops { count } => {
                 write!(f, "expected one loop, found {count}")
             }
+            ArrayError::DegenerateRectangle { r0, c0, r1, c1 } => write!(
+                f,
+                "degenerate node rectangle ({r0}, {c0})-({r1}, {c1}): corners must differ in both axes"
+            ),
             ArrayError::InvalidParameter { what } => {
                 write!(f, "invalid parameter: {what}")
             }
@@ -76,6 +94,13 @@ mod tests {
             dims: (36, 36),
         };
         assert!(e.to_string().contains("36x36"));
+        let d = ArrayError::DegenerateRectangle {
+            r0: 4,
+            c0: 6,
+            r1: 4,
+            c1: 20,
+        };
+        assert!(d.to_string().contains("(4, 6)-(4, 20)"));
         assert!(!ArrayError::NoClosedLoop.to_string().is_empty());
         assert!(ArrayError::MultipleLoops { count: 2 }
             .to_string()

@@ -15,6 +15,7 @@ use psa_core::cross_domain::CrossDomainAnalyzer;
 use psa_core::detector::{BackscatterDetector, CrossDomainDetector, Detector, EuclideanDetector};
 use psa_core::monitor::{ActivationSchedule, ScheduleChange, SlidingConfig};
 use psa_core::mttd::{mttd_trial_with, MonitorTiming};
+use psa_core::progsearch::{DetectionSnr, ProgramSearchConfig, SearchObjective};
 use psa_core::report::{db, mhz, pct, sparkline, yes_no, Table};
 use psa_core::scenario::Scenario;
 use psa_core::snr::measure_snr_with;
@@ -23,7 +24,7 @@ use psa_gatesim::trojan::TrojanKind;
 use psa_layout::emitter::sweep_grid;
 use psa_runtime::{
     AtlasCampaign, AtlasCorner, AtlasJob, AtlasOutcome, Campaign, Engine, MonitorCampaign,
-    MonitorJob, MonitorOutcome, MonitorSummary,
+    MonitorJob, MonitorOutcome, MonitorSummary, ProgramSearch, SearchReport,
 };
 
 /// Builds the shared chip once (expensive: placement + coupling
@@ -83,7 +84,7 @@ pub fn snr_rows(chip: &TestChip, engine: &Engine) -> Vec<(String, f64, f64)> {
     rows.into_iter()
         .map(|m| {
             let paper = match m.sensor {
-                SensorSelect::Psa(_) => 41.0,
+                SensorSelect::Psa(_) | SensorSelect::Custom(_) => 41.0,
                 SensorSelect::SingleCoil => 30.5,
                 SensorSelect::IcrHh100 => 34.0,
                 SensorSelect::LangerLf1 => 14.3,
@@ -431,7 +432,7 @@ pub struct Fig5Panel {
 /// job per Trojan (the analyzer and its learned baseline are shared).
 pub fn fig5_panels(chip: &TestChip, engine: &Engine) -> Vec<Fig5Panel> {
     let campaign = Campaign::new(chip, *engine);
-    let analyzer = CrossDomainAnalyzer::new(chip);
+    let analyzer = CrossDomainAnalyzer::new(chip).expect("reference template library");
     let baseline = campaign.learn_baseline(0xF15);
     campaign.run(&TrojanKind::ALL, |ctx, _, &kind| {
         let scenario = Scenario::trojan_active(kind).with_seed(555 + kind.index() as u64);
@@ -979,6 +980,181 @@ pub fn atlas_report(corners: &[AtlasCorner], outcomes: &[AtlasOutcome], grid: us
     out
 }
 
+// ---------------------------------------------------------------------
+// Programming search — the `program_search` binary.
+// ---------------------------------------------------------------------
+
+/// Base evaluation seed of the programming-search bench (every
+/// candidate's own seed derives from this and its geometry, so the
+/// whole search is a pure function of this constant).
+pub const SEARCH_BASE_SEED: u64 = 0x5EA6_C401;
+
+/// The bench's search configuration: the library defaults with the
+/// CLI's round/beam budget.
+pub fn search_config(rounds: usize, beam: usize) -> ProgramSearchConfig {
+    ProgramSearchConfig {
+        max_rounds: rounds,
+        beam_width: beam,
+        ..ProgramSearchConfig::default()
+    }
+}
+
+/// One Trojan's finished search plus the fixed-probe baselines
+/// (whole-die single coil, commercial probes) measured under the
+/// identical detection-SNR statistic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The beam search's report.
+    pub report: SearchReport,
+    /// `(selection, statistic)` for each fixed probe baseline.
+    pub probes: Vec<(SensorSelect, DetectionSnr)>,
+}
+
+/// Runs the search and the probe baselines for every kind in `kinds`,
+/// on the engine.
+///
+/// # Panics
+///
+/// Never for the built-in chip and a valid configuration (the search
+/// only evaluates lattice-valid candidates).
+pub fn search_outcomes(
+    chip: &TestChip,
+    engine: &Engine,
+    kinds: &[TrojanKind],
+    config: &ProgramSearchConfig,
+) -> Vec<SearchOutcome> {
+    let search = ProgramSearch::new(chip, *engine, config.clone())
+        .expect("bench search configuration is valid");
+    kinds
+        .iter()
+        .map(|&kind| SearchOutcome {
+            report: search
+                .search(kind, SEARCH_BASE_SEED)
+                .expect("search evaluates only lattice-valid programmings"),
+            probes: search
+                .probe_baselines(kind, SEARCH_BASE_SEED)
+                .expect("probe selections are built in"),
+        })
+        .collect()
+}
+
+fn probe_label(select: SensorSelect) -> &'static str {
+    match select {
+        SensorSelect::SingleCoil => "single-coil",
+        SensorSelect::IcrHh100 => "ICR HH100-6",
+        SensorSelect::LangerLf1 => "Langer LF1",
+        _ => "?",
+    }
+}
+
+fn records_label(k: Option<usize>) -> String {
+    match k {
+        Some(k) => format!("k={k}"),
+        None => "k=-".to_string(),
+    }
+}
+
+/// Renders the deterministic searched-vs-preset report the
+/// `program_search` binary prints — byte-identical at any worker count.
+pub fn search_report_text(config: &ProgramSearchConfig, outcomes: &[SearchOutcome]) -> String {
+    let mut out = String::new();
+    let objective = match config.objective {
+        SearchObjective::MaxSnr => "max-snr",
+        SearchObjective::MinTtd => "min-ttd",
+    };
+    out.push_str(&format!(
+        "objective {objective}  records/eval {}  record {} cycles  beam {}  rounds <= {}  turns {}..{}  step {}\n",
+        config.records_per_eval,
+        config.record_cycles,
+        config.beam_width,
+        config.max_rounds,
+        config.turns_min,
+        config.turns_max,
+        config.step,
+    ));
+    for o in outcomes {
+        let best_preset = o.report.best_preset(config);
+        let best = &o.report.best;
+        out.push_str(&format!("trojan {}:\n", o.report.kind));
+        out.push_str(&format!(
+            "  best preset {:<18} snr {:>6.1} dB  {}\n",
+            best_preset.program.to_string(),
+            best_preset.snr.snr_db,
+            records_label(best_preset.snr.records_to_detect),
+        ));
+        out.push_str(&format!(
+            "  searched    {:<18} snr {:>6.1} dB  {}  ({:+.1} dB, {} programmings, {} round(s))\n",
+            best.program.to_string(),
+            best.snr.snr_db,
+            records_label(best.snr.records_to_detect),
+            o.report.improvement_db(config),
+            o.report.evaluated,
+            o.report.rounds.len(),
+        ));
+        for r in &o.report.rounds {
+            out.push_str(&format!(
+                "    round {}: {:>3} evaluated, best {} at {:.1} dB\n",
+                r.round, r.evaluated, r.best.program, r.best.snr.snr_db,
+            ));
+        }
+        let probes = o
+            .probes
+            .iter()
+            .map(|&(select, snr)| {
+                format!(
+                    "{} {:.1} dB {}",
+                    probe_label(select),
+                    snr.snr_db,
+                    records_label(snr.records_to_detect)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(" | ");
+        out.push_str(&format!("  probes: {probes}\n"));
+    }
+
+    // Summary: does a searched programming clear the preset bar?
+    let won = outcomes
+        .iter()
+        .filter(|o| o.report.improvement_db(config) > 0.0)
+        .count();
+    out.push_str(&format!(
+        "searched programming beats best preset: {won}/{} trojans\n",
+        outcomes.len()
+    ));
+    out
+}
+
+/// Parses `--trojan T3`-style filters into a kind list (default: all).
+/// Exits with status 2 on an unknown kind, matching the other CLI
+/// contracts.
+pub fn trojan_kinds_from_cli(args: &[String]) -> Vec<TrojanKind> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let value = if arg == "--trojan" {
+            iter.next().map(|v| v.as_str()).unwrap_or("")
+        } else {
+            match arg.strip_prefix("--trojan=") {
+                Some(v) => v,
+                None => continue,
+            }
+        };
+        return match TrojanKind::ALL
+            .iter()
+            .find(|k| k.to_string().eq_ignore_ascii_case(value))
+        {
+            Some(&k) => vec![k],
+            None => {
+                eprintln!(
+                    "error: invalid --trojan value `{value}`: expected one of T1, T2, T3, T4"
+                );
+                std::process::exit(2);
+            }
+        };
+    }
+    TrojanKind::ALL.to_vec()
+}
+
 /// Convenience for the `mhz` formatter used by binaries.
 pub fn format_freq(hz: f64) -> String {
     mhz(hz)
@@ -986,7 +1162,7 @@ pub fn format_freq(hz: f64) -> String {
 
 /// Identification-related helper re-export for benches.
 pub fn classify_once(chip: &TestChip) -> TrojanKind {
-    let analyzer = CrossDomainAnalyzer::new(chip);
+    let analyzer = CrossDomainAnalyzer::new(chip).expect("reference template library");
     let baseline = analyzer.learn_baseline(1);
     analyzer
         .analyze(

@@ -17,11 +17,12 @@
 //!   is what makes parallel campaigns byte-identical to serial ones.
 
 use crate::calib;
-use crate::chip::{SensorSelect, TestChip};
+use crate::chip::{CustomSensor, SensorSelect, TestChip};
 use crate::error::CoreError;
 use crate::scenario::Scenario;
 use psa_analog::frontend::AnalogFrontEnd;
 use psa_analog::specan::SpectrumAnalyzer;
+use psa_array::program::CoilProgram;
 use psa_dsp::batch::SpectrumScratch;
 use psa_dsp::window::Window;
 use psa_field::induction::induced_emf_into;
@@ -149,7 +150,19 @@ pub struct AcqContext<'c> {
     emf: Vec<f64>,
     concat: Vec<f64>,
     traces: TraceSet,
+    /// Per-worker cache of synthesized custom programmings: deriving a
+    /// coupling row is a flux integral per source cluster, far too
+    /// expensive to repeat per record. Results never depend on cache
+    /// state (each entry is a pure function of the programming), so the
+    /// cache affects performance only — the determinism contract holds.
+    customs: Vec<CustomSensor>,
 }
+
+/// Synthesized custom programmings kept per context before the cache
+/// resets. A programming search's working set (one beam of candidates
+/// per worker) is far below this; the cap only bounds pathological
+/// sweeps over thousands of distinct programmings.
+const CUSTOM_CACHE_CAP: usize = 64;
 
 impl<'c> AcqContext<'c> {
     /// Creates a context with the paper's spectrum-analyzer settings.
@@ -172,7 +185,28 @@ impl<'c> AcqContext<'c> {
             emf: Vec::new(),
             concat: Vec::new(),
             traces: TraceSet::default(),
+            customs: Vec::new(),
         }
+    }
+
+    /// Synthesized custom programmings currently cached (for tests and
+    /// diagnostics; capped at an internal bound).
+    pub fn custom_cache_len(&self) -> usize {
+        self.customs.len()
+    }
+
+    /// Index of `program` in the custom-sensor cache, synthesizing on
+    /// first sight.
+    fn ensure_custom(&mut self, program: &CoilProgram) -> Result<usize, CoreError> {
+        if let Some(i) = self.customs.iter().position(|c| c.program() == program) {
+            return Ok(i);
+        }
+        if self.customs.len() >= CUSTOM_CACHE_CAP {
+            self.customs.clear();
+        }
+        let sensor = self.chip.synthesize_custom(program)?;
+        self.customs.push(sensor);
+        Ok(self.customs.len() - 1)
     }
 
     /// The chip this context measures.
@@ -265,10 +299,33 @@ impl<'c> AcqContext<'c> {
             });
         }
         let fs = calib::sample_rate_hz();
-        let couplings = self.chip.couplings_for(sensor)?;
-        let noise_vrms =
-            self.chip
-                .sensor_noise_vrms(sensor, fs / 2.0, scenario.vdd, scenario.temp_c);
+        // Custom programmings borrow their (cached) synthesized row so
+        // the per-record loop stays free of coupling recomputation; the
+        // fixed selections read the chip's precomputed columns. Both
+        // paths feed the identical pipeline below, which is why
+        // Custom(preset-shaped) acquisitions are bit-identical to Psa.
+        let preset_couplings: Vec<f64>;
+        let couplings: &[f64];
+        let noise_vrms: f64;
+        match sensor {
+            SensorSelect::Custom(program) => {
+                let idx = self.ensure_custom(&program)?;
+                noise_vrms = self.customs[idx].noise_vrms(
+                    self.chip.tgate(),
+                    fs / 2.0,
+                    scenario.vdd,
+                    scenario.temp_c,
+                );
+                couplings = self.customs[idx].couplings();
+            }
+            _ => {
+                preset_couplings = self.chip.couplings_for(sensor)?;
+                noise_vrms =
+                    self.chip
+                        .sensor_noise_vrms(sensor, fs / 2.0, scenario.vdd, scenario.temp_c);
+                couplings = &preset_couplings;
+            }
+        }
         let frontend = frontend_for(sensor, scenario.seed ^ 0xFE);
 
         let mut sim = ActivitySimulator::new(scenario.chip_config());
@@ -296,7 +353,7 @@ impl<'c> AcqContext<'c> {
             let mut pairs: Vec<(&[f64], f64)> = self
                 .currents
                 .iter()
-                .zip(&couplings)
+                .zip(couplings)
                 .map(|((_, wave), &k)| (wave.as_slice(), k))
                 .collect();
             if let Some(e) = emitter {
@@ -842,6 +899,49 @@ mod tests {
                 .zip(&spec_fresh)
                 .all(|(a, b)| a.to_bits() == b.to_bits()));
         }
+    }
+
+    #[test]
+    fn custom_preset_acquisition_matches_psa_bitwise() {
+        // Custom(preset-shaped program) must be indistinguishable from
+        // the 4-bit decoder's selection at the trace level: same
+        // couplings, same noise floor, same frontend seed → identical
+        // bytes out of the ADC.
+        let acq = Acquisition::new(chip());
+        let mut ctx = acq.context();
+        let scenario = Scenario::trojan_active(TrojanKind::T3).with_seed(91);
+        let p = psa_array::program::CoilProgram::preset(10).unwrap();
+        let via_custom = ctx.acquire(&scenario, SensorSelect::Custom(p), 2).unwrap();
+        let via_preset = acq.acquire(&scenario, SensorSelect::Psa(10), 2).unwrap();
+        assert_eq!(via_custom.records, via_preset.records);
+        assert_eq!(via_custom.fs_hz, via_preset.fs_hz);
+    }
+
+    #[test]
+    fn custom_cache_reuses_synthesis_and_stays_bounded() {
+        let acq = Acquisition::new(chip());
+        let mut ctx = acq.context();
+        let scenario = Scenario::baseline().with_seed(5);
+        let p = psa_array::program::CoilProgram::new(18, 18, 26, 26, 3).unwrap();
+        assert_eq!(ctx.custom_cache_len(), 0);
+        let a = ctx.acquire(&scenario, SensorSelect::Custom(p), 1).unwrap();
+        assert_eq!(ctx.custom_cache_len(), 1);
+        // Re-acquiring the same programming hits the cache (no growth)
+        // and reproduces the identical traces — cache state is invisible
+        // in the results.
+        let b = ctx.acquire(&scenario, SensorSelect::Custom(p), 1).unwrap();
+        assert_eq!(ctx.custom_cache_len(), 1);
+        assert_eq!(a, b);
+        // A second programming occupies a second slot.
+        let q = psa_array::program::CoilProgram::new(0, 0, 12, 12, 2).unwrap();
+        ctx.acquire(&scenario, SensorSelect::Custom(q), 1).unwrap();
+        assert_eq!(ctx.custom_cache_len(), 2);
+        // Invalid programmings are rejected without polluting the cache.
+        let off = psa_array::program::CoilProgram::new(30, 30, 40, 40, 2).unwrap();
+        assert!(ctx
+            .acquire(&scenario, SensorSelect::Custom(off), 1)
+            .is_err());
+        assert_eq!(ctx.custom_cache_len(), 2);
     }
 
     #[test]

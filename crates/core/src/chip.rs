@@ -9,6 +9,8 @@
 
 use crate::calib;
 use crate::error::CoreError;
+use psa_array::coil::Coil;
+use psa_array::program::CoilProgram;
 use psa_array::sensors::SensorBank;
 use psa_array::tgate::TGate;
 use psa_field::coupling::CouplingMatrix;
@@ -23,6 +25,13 @@ use psa_layout::{Point, Polygon};
 pub enum SensorSelect {
     /// One of the 16 PSA sensors.
     Psa(usize),
+    /// An arbitrary host-side lattice programming — the "programmable"
+    /// half of the paper's title. Couplings are synthesized on demand
+    /// (and cached per worker by
+    /// [`AcqContext`](crate::acquisition::AcqContext)); a custom
+    /// programming shaped like a preset measures **bit-identically** to
+    /// the corresponding [`Psa`](Self::Psa) selection.
+    Custom(CoilProgram),
     /// The whole-die single coil of He et al. (DAC'20).
     SingleCoil,
     /// The Langer LF1 external probe.
@@ -38,6 +47,46 @@ impl SensorSelect {
         SensorSelect::LangerLf1,
         SensorSelect::IcrHh100,
     ];
+}
+
+/// A synthesized custom sensor: the programming, its extracted coil,
+/// and its on-demand source couplings — everything an acquisition needs
+/// that the chip precomputes for the 16 presets.
+///
+/// Built by [`TestChip::synthesize_custom`]; cached per worker inside
+/// [`AcqContext`](crate::acquisition::AcqContext) so the acquisition hot
+/// path stays allocation-free once a programming has been seen.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomSensor {
+    program: CoilProgram,
+    coil: Coil,
+    couplings: Vec<f64>,
+}
+
+impl CustomSensor {
+    /// The programming this sensor realizes.
+    pub fn program(&self) -> &CoilProgram {
+        &self.program
+    }
+
+    /// The extracted (loop-validated) coil.
+    pub fn coil(&self) -> &Coil {
+        &self.coil
+    }
+
+    /// Effective couplings of all sources into this coil, in
+    /// [`Source::ALL`] order (Wb per A·m²).
+    pub fn couplings(&self) -> &[f64] {
+        &self.couplings
+    }
+
+    /// Sensor-referred thermal noise over bandwidth `bw_hz`, volts RMS —
+    /// the same formula the chip applies to preset PSA sensors (series
+    /// resistance includes the coil's T-gates at the given corner).
+    pub fn noise_vrms(&self, tgate: &TGate, bw_hz: f64, vdd: f64, temp_c: f64) -> f64 {
+        let r = self.coil.series_resistance_ohm(tgate, vdd, temp_c);
+        psa_field::noise::thermal_noise_vrms(r, temp_c + 273.15, bw_hz)
+    }
 }
 
 /// The assembled test chip.
@@ -176,12 +225,45 @@ impl TestChip {
         &self.clusters_by_source
     }
 
-    /// Effective couplings of all sources into a sensing selection, in
-    /// [`Source::ALL`] order (Wb per A·m²).
+    /// Synthesizes a custom programming into a measurable sensor:
+    /// programs a fresh matrix, extracts the coil (enforcing the
+    /// one-closed-loop invariant), and derives the couplings of every
+    /// activity source into the coil polygon at the PSA plane — the
+    /// same dipole-flux machinery the preset coupling matrix and the
+    /// atlas's `emitter_coupling_row` are built from.
+    ///
+    /// This is the expensive step (a flux integral per source cluster);
+    /// [`AcqContext`](crate::acquisition::AcqContext) caches the result
+    /// per worker so sweeps over repeated programmings pay it once.
     ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidParameter`] for a PSA index ≥ 16.
+    /// Propagates [`CoreError::Array`] when the programming falls
+    /// outside the lattice or fails loop validation, and field errors
+    /// from the coupling derivation.
+    pub fn synthesize_custom(&self, program: &CoilProgram) -> Result<CustomSensor, CoreError> {
+        let coil = program.synthesize(self.sensor_bank.lattice())?;
+        let poly = coil.to_polygon()?;
+        let z_psa = self.floorplan.die().psa_plane_z_um();
+        let couplings =
+            psa_field::coupling::source_coupling_column(&self.clusters_by_source, &poly, z_psa)?;
+        Ok(CustomSensor {
+            program: *program,
+            coil,
+            couplings,
+        })
+    }
+
+    /// Effective couplings of all sources into a sensing selection, in
+    /// [`Source::ALL`] order (Wb per A·m²). For
+    /// [`SensorSelect::Custom`] the row is synthesized on demand — hot
+    /// paths should go through an
+    /// [`AcqContext`](crate::acquisition::AcqContext), which caches it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a PSA index ≥ 16, and
+    /// synthesis errors for an invalid custom programming.
     pub fn couplings_for(&self, select: SensorSelect) -> Result<Vec<f64>, CoreError> {
         match select {
             SensorSelect::Psa(i) => {
@@ -192,6 +274,7 @@ impl TestChip {
                 }
                 Ok(self.psa_couplings.sensor_column(i))
             }
+            SensorSelect::Custom(program) => Ok(self.synthesize_custom(&program)?.couplings),
             other => self
                 .probe_couplings
                 .iter()
@@ -221,6 +304,16 @@ impl TestChip {
                 let r = sensor
                     .coil()
                     .series_resistance_ohm(&self.tgate, vdd, temp_c);
+                psa_field::noise::thermal_noise_vrms(r, temp_c + 273.15, bw_hz)
+            }
+            SensorSelect::Custom(program) => {
+                // Invalid programmings report a zero floor, matching the
+                // out-of-range Psa convention; valid acquisitions never
+                // reach this case (couplings_for rejects them first).
+                let Ok(coil) = program.synthesize(self.sensor_bank.lattice()) else {
+                    return 0.0;
+                };
+                let r = coil.series_resistance_ohm(&self.tgate, vdd, temp_c);
                 psa_field::noise::thermal_noise_vrms(r, temp_c + 273.15, bw_hz)
             }
             other => self
@@ -307,6 +400,58 @@ mod tests {
         let c = chip();
         assert!(c.couplings_for(SensorSelect::Psa(16)).is_err());
         assert!(c.couplings_for(SensorSelect::Psa(0)).is_ok());
+        // Off-lattice custom programmings are rejected at synthesis.
+        let off = CoilProgram::new(30, 30, 40, 40, 2).unwrap();
+        assert!(c.couplings_for(SensorSelect::Custom(off)).is_err());
+        assert!(c.synthesize_custom(&off).is_err());
+        assert_eq!(
+            c.sensor_noise_vrms(SensorSelect::Custom(off), 1.0e8, 1.0, 25.0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn custom_preset_matches_precomputed_preset_bitwise() {
+        // A custom programming shaped like preset sensor 10 must
+        // reproduce the precomputed coupling column and noise floor bit
+        // for bit — the contract that makes Custom(preset) ≡ Psa(i).
+        let c = chip();
+        for sel in [0u8, 10] {
+            let p = CoilProgram::preset(sel).unwrap();
+            let custom = c.couplings_for(SensorSelect::Custom(p)).unwrap();
+            let preset = c.couplings_for(SensorSelect::Psa(sel as usize)).unwrap();
+            assert_eq!(custom.len(), preset.len());
+            for (a, b) in custom.iter().zip(&preset) {
+                assert_eq!(a.to_bits(), b.to_bits(), "sel {sel}");
+            }
+            let n_custom = c.sensor_noise_vrms(SensorSelect::Custom(p), 1.32e8, 1.0, 25.0);
+            let n_preset = c.sensor_noise_vrms(SensorSelect::Psa(sel as usize), 1.32e8, 1.0, 25.0);
+            assert_eq!(n_custom.to_bits(), n_preset.to_bits(), "sel {sel}");
+        }
+    }
+
+    #[test]
+    fn custom_sensor_over_trojan_couples_strongly() {
+        // A tight 3-turn coil centred on the Trojan quarter couples the
+        // Trojan at least as strongly per unit area as the covering
+        // preset — the physical headroom the programming search exploits.
+        let c = chip();
+        let t3_idx = Source::ALL
+            .iter()
+            .position(|&s| s == Source::TrojanT3)
+            .unwrap();
+        let tight = CoilProgram::new(18, 18, 26, 26, 3).unwrap();
+        let cs = c.synthesize_custom(&tight).unwrap();
+        assert_eq!(cs.program(), &tight);
+        assert_eq!(cs.coil().switch_count(), 4 * 3);
+        assert_eq!(cs.couplings().len(), Source::ALL.len());
+        let k_tight = cs.couplings()[t3_idx].abs();
+        let k_corner = c.couplings_for(SensorSelect::Psa(0)).unwrap()[t3_idx].abs();
+        assert!(
+            k_tight > 20.0 * k_corner,
+            "tight {k_tight} vs corner {k_corner}"
+        );
+        assert!(cs.noise_vrms(c.tgate(), 1.32e8, 1.0, 25.0) > 0.0);
     }
 
     #[test]

@@ -34,6 +34,52 @@ pub struct Baseline {
     pub per_sensor_db: Vec<Vec<f64>>,
 }
 
+impl Baseline {
+    /// Learns the run-time baseline with `config`'s trace budget — the
+    /// template-free path: callers that only need baseline spectra (the
+    /// campaign engine, detector construction) never pay for the
+    /// analyzer's identification template library.
+    ///
+    /// # Panics
+    ///
+    /// Never panics; built-in sensor indices are in range by
+    /// construction.
+    pub fn learn_with(
+        chip: &TestChip,
+        config: &AnalyzerConfig,
+        ctx: &mut AcqContext<'_>,
+        seed: u64,
+    ) -> Baseline {
+        let per_sensor_db = (0..chip.sensor_bank().len())
+            .map(|i| Self::sensor_db_with(config, ctx, seed, i))
+            .collect();
+        Baseline { per_sensor_db }
+    }
+
+    /// One sensor's learned-baseline spectrum (the per-job unit of the
+    /// parallel baseline learning). Depends only on `(seed, sensor)` and
+    /// the trace budget, so engine workers can fan the 16 sensors out
+    /// and reassemble an identical [`Baseline`].
+    ///
+    /// # Panics
+    ///
+    /// Never on built-in sensor indices (`sensor < 16`).
+    pub fn sensor_db_with(
+        config: &AnalyzerConfig,
+        ctx: &mut AcqContext<'_>,
+        seed: u64,
+        sensor: usize,
+    ) -> Vec<f64> {
+        let scenario = Scenario::baseline().with_seed(seed);
+        ctx.acquire_fullres_spectrum_db(
+            &scenario,
+            SensorSelect::Psa(sensor),
+            config.traces_per_sensor,
+        )
+        .expect("built-in sensors are valid")
+    }
+}
+
 /// Per-sensor anomaly measurement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SensorAnomaly {
@@ -110,20 +156,43 @@ pub struct CrossDomainAnalyzer<'a> {
 impl<'a> CrossDomainAnalyzer<'a> {
     /// Creates an analyzer with default configuration and the built-in
     /// envelope template library.
-    pub fn new(chip: &'a TestChip) -> Self {
-        CrossDomainAnalyzer {
-            chip,
-            config: AnalyzerConfig::default(),
-            templates: TemplateLibrary::reference(chip),
-        }
+    ///
+    /// # Errors
+    ///
+    /// Propagates reference-library failures
+    /// ([`TemplateLibrary::reference`]) instead of aborting — callers
+    /// that only need baseline spectra can use the infallible
+    /// [`Baseline::learn_with`] and skip the library entirely.
+    pub fn new(chip: &'a TestChip) -> Result<Self, CoreError> {
+        Self::with_config(chip, AnalyzerConfig::default())
     }
 
     /// Creates an analyzer with a custom configuration.
-    pub fn with_config(chip: &'a TestChip, config: AnalyzerConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Same as [`new`](Self::new).
+    pub fn with_config(chip: &'a TestChip, config: AnalyzerConfig) -> Result<Self, CoreError> {
+        Ok(Self::with_templates(
+            chip,
+            config,
+            TemplateLibrary::reference(chip)?,
+        ))
+    }
+
+    /// Creates an analyzer around an already-built template library —
+    /// infallible, and the way callers that detect repeatedly (e.g.
+    /// [`CrossDomainDetector`](crate::detector::CrossDomainDetector))
+    /// avoid re-acquiring the reference set per analysis.
+    pub fn with_templates(
+        chip: &'a TestChip,
+        config: AnalyzerConfig,
+        templates: TemplateLibrary,
+    ) -> Self {
         CrossDomainAnalyzer {
             chip,
             config,
-            templates: TemplateLibrary::reference(chip),
+            templates,
         }
     }
 
@@ -152,10 +221,7 @@ impl<'a> CrossDomainAnalyzer<'a> {
     ///
     /// Same as [`learn_baseline`](Self::learn_baseline).
     pub fn learn_baseline_with(&self, ctx: &mut AcqContext<'_>, seed: u64) -> Baseline {
-        let per_sensor_db = (0..self.chip.sensor_bank().len())
-            .map(|i| self.baseline_sensor_db_with(ctx, seed, i))
-            .collect();
-        Baseline { per_sensor_db }
+        Baseline::learn_with(self.chip, &self.config, ctx, seed)
     }
 
     /// One sensor's learned-baseline spectrum (the per-job unit of the
@@ -170,13 +236,7 @@ impl<'a> CrossDomainAnalyzer<'a> {
         seed: u64,
         sensor: usize,
     ) -> Vec<f64> {
-        let scenario = Scenario::baseline().with_seed(seed);
-        ctx.acquire_fullres_spectrum_db(
-            &scenario,
-            SensorSelect::Psa(sensor),
-            self.config.traces_per_sensor,
-        )
-        .expect("built-in sensors are valid")
+        Baseline::sensor_db_with(&self.config, ctx, seed, sensor)
     }
 
     /// Runs the full cross-domain pipeline on a scenario.

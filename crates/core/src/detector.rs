@@ -14,8 +14,9 @@
 
 use crate::acquisition::{AcqContext, TraceSet};
 use crate::chip::{SensorSelect, TestChip};
-use crate::cross_domain::{Baseline, CrossDomainAnalyzer};
+use crate::cross_domain::{AnalyzerConfig, Baseline, CrossDomainAnalyzer};
 use crate::error::CoreError;
+use crate::identify::TemplateLibrary;
 use crate::scenario::Scenario;
 use psa_dsp::spectrum;
 use psa_gatesim::trojan::TrojanKind;
@@ -23,6 +24,7 @@ use psa_ml::distance::euclidean;
 use psa_ml::kmeans::KMeans;
 use psa_ml::metrics::silhouette_score;
 use psa_ml::pca::Pca;
+use std::sync::OnceLock;
 
 /// Outcome of one detection attempt.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,21 +80,34 @@ pub trait Detector: Send + Sync {
 #[derive(Debug)]
 pub struct CrossDomainDetector {
     baseline: Baseline,
+    /// The identification template library, built once on first
+    /// detection and shared across workers thereafter — like the
+    /// baseline, it is chip-specific, so a detector (whose baseline
+    /// already binds it to one chip) must not be reused across chips.
+    templates: OnceLock<TemplateLibrary>,
 }
 
 impl CrossDomainDetector {
-    /// Learns the run-time baseline on construction.
+    /// Learns the run-time baseline on construction (the template-free
+    /// path — the identification library is built lazily on first
+    /// detection and cached).
     pub fn new(chip: &TestChip, baseline_seed: u64) -> Self {
-        let analyzer = CrossDomainAnalyzer::new(chip);
-        CrossDomainDetector {
-            baseline: analyzer.learn_baseline(baseline_seed),
-        }
+        use crate::cross_domain::AnalyzerConfig;
+        Self::with_baseline(Baseline::learn_with(
+            chip,
+            &AnalyzerConfig::default(),
+            &mut AcqContext::new(chip),
+            baseline_seed,
+        ))
     }
 
     /// Wraps an already-learned baseline (e.g. one the campaign engine
     /// learned in parallel across sensors).
     pub fn with_baseline(baseline: Baseline) -> Self {
-        CrossDomainDetector { baseline }
+        CrossDomainDetector {
+            baseline,
+            templates: OnceLock::new(),
+        }
     }
 
     /// Access to the learned baseline.
@@ -115,7 +130,22 @@ impl Detector for CrossDomainDetector {
         ctx: &mut AcqContext<'_>,
         scenario: &Scenario,
     ) -> Result<DetectionOutcome, CoreError> {
-        let analyzer = CrossDomainAnalyzer::new(ctx.chip());
+        // The reference library costs 8 signature acquisitions plus
+        // scaler/k-NN fits — far too much to repeat per detection.
+        // Build it once (first detection wins the race; the library is
+        // a pure function of the chip, so every build is identical).
+        let templates = match self.templates.get() {
+            Some(t) => t,
+            None => {
+                let built = TemplateLibrary::reference(ctx.chip())?;
+                self.templates.get_or_init(|| built)
+            }
+        };
+        let analyzer = CrossDomainAnalyzer::with_templates(
+            ctx.chip(),
+            AnalyzerConfig::default(),
+            templates.clone(),
+        );
         let verdict = analyzer.analyze_with(ctx, scenario, &self.baseline)?;
         Ok(DetectionOutcome {
             detected: verdict.detected,

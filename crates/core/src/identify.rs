@@ -234,7 +234,7 @@ pub fn spectral_context(excess_db: &[f64], line_bin: usize, df_hz: f64) -> (f64,
 }
 
 /// A labelled template library for nearest-template identification.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TemplateLibrary {
     knn: Knn,
     scaler: StandardScaler,
@@ -246,17 +246,16 @@ impl TemplateLibrary {
     /// archetype on `chip`, using keys and seeds *different* from any
     /// test scenario (identification must generalize across keys).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Never on user input; internal reference acquisition uses only
-    /// built-in sensors.
-    pub fn reference(chip: &TestChip) -> Self {
+    /// Propagates acquisition errors from the reference simulations and
+    /// fitting errors from [`from_samples`](Self::from_samples).
+    pub fn reference(chip: &TestChip) -> Result<Self, CoreError> {
         use crate::acquisition::Acquisition;
         use crate::scenario::Scenario;
 
         let acq = Acquisition::new(chip);
         let mut samples = Vec::new();
-        let mut labels = Vec::new();
         let mut kinds = Vec::new();
         // Two reference keys per Trojan for template robustness.
         let ref_keys: [[u8; 16]; 2] = [[0x81; 16], {
@@ -274,21 +273,45 @@ impl TemplateLibrary {
                 let baseline = Scenario::baseline()
                     .with_key(*key)
                     .with_seed(0xBEEF + ki as u64);
-                let sig = acquire_signature(chip, &acq, &scenario, &baseline, 10, 48.0e6)
-                    .expect("reference acquisition uses valid sensors");
+                let sig = acquire_signature(chip, &acq, &scenario, &baseline, 10, 48.0e6)?;
                 samples.push(sig.to_vec());
-                labels.push(kind.index());
                 kinds.push(kind);
             }
         }
-        let scaler = StandardScaler::fit(&samples).expect("non-empty reference set");
-        let scaled = scaler.transform(&samples).expect("dimensions match");
-        let knn = Knn::fit(scaled, labels, 1).expect("non-empty reference set");
-        TemplateLibrary {
+        Self::from_samples(samples, kinds)
+    }
+
+    /// Fits a library from already-extracted signature vectors and their
+    /// labels — the fallible core of [`reference`](Self::reference),
+    /// exposed so callers with their own reference sets (or tests with
+    /// degenerate ones) hit a [`CoreError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::InvalidParameter`] for an empty reference set or
+    ///   mismatched sample/label counts;
+    /// * [`CoreError::Ml`] when the scaler or classifier rejects the
+    ///   samples (e.g. ragged feature dimensions).
+    pub fn from_samples(samples: Vec<Vec<f64>>, kinds: Vec<TrojanKind>) -> Result<Self, CoreError> {
+        if samples.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                what: "template library needs at least one reference signature",
+            });
+        }
+        if samples.len() != kinds.len() {
+            return Err(CoreError::InvalidParameter {
+                what: "template samples and labels must pair up",
+            });
+        }
+        let labels: Vec<usize> = kinds.iter().map(|k| k.index()).collect();
+        let scaler = StandardScaler::fit(&samples)?;
+        let scaled = scaler.transform(&samples)?;
+        let knn = Knn::fit(scaled, labels, 1)?;
+        Ok(TemplateLibrary {
             knn,
             scaler,
             labels: kinds,
-        }
+        })
     }
 
     /// Number of stored templates.
@@ -607,6 +630,38 @@ mod tests {
             kurtosis: -1.0,
             telegraph: tel,
         }
+    }
+
+    #[test]
+    fn empty_reference_set_is_an_error_not_a_panic() {
+        // Regression: StandardScaler::fit / Knn::fit used to be reached
+        // through `expect`, aborting the process on an empty or
+        // malformed reference set.
+        let e = TemplateLibrary::from_samples(Vec::new(), Vec::new());
+        assert!(matches!(
+            e,
+            Err(CoreError::InvalidParameter { what }) if what.contains("reference")
+        ));
+        // Mismatched sample/label counts are rejected up front.
+        assert!(TemplateLibrary::from_samples(
+            vec![vec![1.0, 2.0]],
+            vec![TrojanKind::T1, TrojanKind::T2],
+        )
+        .is_err());
+        // Ragged feature dimensions surface the ML error, not a panic.
+        assert!(TemplateLibrary::from_samples(
+            vec![vec![1.0, 2.0], vec![1.0]],
+            vec![TrojanKind::T1, TrojanKind::T2],
+        )
+        .is_err());
+        // A well-formed single-class set still fits.
+        let lib = TemplateLibrary::from_samples(
+            vec![vec![0.75, 25.0], vec![0.74, 24.0]],
+            vec![TrojanKind::T1, TrojanKind::T1],
+        )
+        .unwrap();
+        assert_eq!(lib.len(), 2);
+        assert!(!lib.is_empty());
     }
 
     #[test]

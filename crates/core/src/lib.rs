@@ -34,6 +34,10 @@
 //!   cycle-stamped events, and per-session MTTD reports.
 //! * [`atlas`] — the localization-accuracy atlas: parametric synthetic-
 //!   Trojan placement sweeps scored as localization error in µm.
+//! * [`progsearch`] — the SNR-driven programming search: scores
+//!   arbitrary lattice programmings (`SensorSelect::Custom`) by their
+//!   measured detection SNR per Trojan region and provides the
+//!   deterministic beam-search primitives `psa_runtime` fans out.
 //! * [`report`] — plain-text table rendering for the bench harness.
 //!
 //! # Example
@@ -45,7 +49,7 @@
 //! use psa_gatesim::trojan::TrojanKind;
 //!
 //! let chip = TestChip::date24();
-//! let analyzer = CrossDomainAnalyzer::new(&chip);
+//! let analyzer = CrossDomainAnalyzer::new(&chip).expect("reference template library");
 //! let baseline = analyzer.learn_baseline(42);
 //! let verdict = analyzer
 //!     .analyze(&Scenario::trojan_active(TrojanKind::T1).with_seed(7), &baseline)
@@ -66,6 +70,7 @@ pub mod error;
 pub mod identify;
 pub mod monitor;
 pub mod mttd;
+pub mod progsearch;
 pub mod report;
 pub mod scenario;
 pub mod snr;

@@ -101,6 +101,7 @@ pub fn snr_comparison(chip: &TestChip, seed: u64) -> Result<Vec<SnrMeasurement>,
 fn label_of(sensor: SensorSelect) -> String {
     match sensor {
         SensorSelect::Psa(i) => format!("PSA sensor {i}"),
+        SensorSelect::Custom(p) => format!("PSA custom {p}"),
         SensorSelect::SingleCoil => "single on-chip coil (DAC'20)".to_string(),
         SensorSelect::LangerLf1 => "Langer LF1 external probe".to_string(),
         SensorSelect::IcrHh100 => "ICR HH100-6 external probe".to_string(),

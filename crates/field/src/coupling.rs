@@ -67,6 +67,38 @@ pub fn couple_clusters(
     })
 }
 
+/// Effective coupling of every source into **one** loop polygon — the
+/// column a custom (host-programmed) sensor needs, computed on demand
+/// without materializing a full [`CouplingMatrix`].
+///
+/// Bit-identical to `CouplingMatrix::build(sources, &[loop_poly], z_um)`
+/// followed by `sensor_column(0)`: each entry is
+/// [`couple_clusters`]`(...).effective`, and a source with no clusters
+/// couples zero. This equivalence is what lets a
+/// `CoilProgram`-synthesized copy of a preset sensor reproduce the
+/// preset's precomputed couplings exactly.
+///
+/// # Errors
+///
+/// Returns [`FieldError::InvalidParameter`] when `z_um` is not strictly
+/// positive (via [`couple_clusters`]).
+pub fn source_coupling_column(
+    sources: &[Vec<Cluster>],
+    loop_poly: &Polygon,
+    z_um: f64,
+) -> Result<Vec<f64>, FieldError> {
+    sources
+        .iter()
+        .map(|clusters| {
+            if clusters.is_empty() {
+                Ok(0.0)
+            } else {
+                Ok(couple_clusters(clusters, loop_poly, z_um)?.effective)
+            }
+        })
+        .collect()
+}
+
 /// A full coupling matrix: sources × sensors, storing only the effective
 /// couplings (the per-cluster detail is available via
 /// [`couple_clusters`]).
@@ -226,6 +258,30 @@ mod tests {
         assert!(m.coupling(0, 5).is_err());
         let col = m.sensor_column(0);
         assert_eq!(col.len(), 3);
+    }
+
+    #[test]
+    fn source_column_matches_matrix_column_bitwise() {
+        // The on-demand column is the custom-sensor path; it must agree
+        // with the precomputed matrix bit for bit, or preset-shaped
+        // custom programmings would diverge from the presets.
+        let fp = Floorplan::date24_test_chip();
+        let sources = vec![
+            clusters_for(&fp, ModuleKind::AesCore),
+            Vec::new(),
+            clusters_for(&fp, ModuleKind::TrojanT3),
+        ];
+        let poly = Rect::new(445.3, 445.3, 777.5, 777.5).to_polygon();
+        let col = source_coupling_column(&sources, &poly, 4.8).unwrap();
+        let m = CouplingMatrix::build(&sources, std::slice::from_ref(&poly), 4.8).unwrap();
+        let via_matrix = m.sensor_column(0);
+        assert_eq!(col.len(), via_matrix.len());
+        for (a, b) in col.iter().zip(&via_matrix) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(col[1], 0.0, "cluster-less source couples zero");
+        // Degenerate height is rejected like the matrix path.
+        assert!(source_coupling_column(&sources, &poly, 0.0).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 use crate::engine::Engine;
 use psa_core::acquisition::{AcqContext, TraceSet};
 use psa_core::chip::{SensorSelect, TestChip};
-use psa_core::cross_domain::{Baseline, CrossDomainAnalyzer};
+use psa_core::cross_domain::{AnalyzerConfig, Baseline};
 use psa_core::error::CoreError;
 use psa_core::scenario::Scenario;
 
@@ -139,13 +139,15 @@ impl<'c> Campaign<'c> {
 
     /// Learns the 16-sensor run-time baseline in parallel (one job per
     /// sensor). Byte-identical to
-    /// [`CrossDomainAnalyzer::learn_baseline`] with the same seed, since
-    /// each sensor's spectrum depends only on `(seed, sensor)`.
+    /// [`psa_core::cross_domain::CrossDomainAnalyzer::learn_baseline`]
+    /// with the same seed, since each sensor's spectrum depends only on
+    /// `(seed, sensor)` — and template-free, so no worker pays for the
+    /// identification reference library.
     pub fn learn_baseline(&self, seed: u64) -> Baseline {
-        let analyzer = CrossDomainAnalyzer::new(self.chip);
+        let config = AnalyzerConfig::default();
         let sensors: Vec<usize> = (0..self.chip.sensor_bank().len()).collect();
         let per_sensor_db = self.run(&sensors, |ctx, _, &sensor| {
-            analyzer.baseline_sensor_db_with(ctx, seed, sensor)
+            Baseline::sensor_db_with(&config, ctx, seed, sensor)
         });
         Baseline { per_sensor_db }
     }

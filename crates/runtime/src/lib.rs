@@ -26,6 +26,12 @@
 //! * [`atlas`] — localization-accuracy atlas campaigns: synthetic-
 //!   Trojan placements × VDD/temp corners × seeds fanned across
 //!   workers, with per-corner baselines learned in parallel first.
+//! * [`progsearch`] — SNR-driven programming-search campaigns: a
+//!   deterministic beam search over custom switch-matrix programmings
+//!   ([`SensorSelect::Custom`](psa_core::chip::SensorSelect)), every
+//!   candidate generation in canonical order and every evaluation
+//!   seeded purely from its program, so the searched result is
+//!   byte-identical at any worker count.
 //!
 //! ## Determinism
 //!
@@ -50,8 +56,10 @@ pub mod atlas;
 pub mod campaign;
 pub mod engine;
 pub mod monitor;
+pub mod progsearch;
 
 pub use atlas::{AtlasCampaign, AtlasCorner, AtlasJob, AtlasOutcome};
 pub use campaign::{AcquireJob, Campaign};
 pub use engine::Engine;
 pub use monitor::{MonitorCampaign, MonitorJob, MonitorOutcome, MonitorSummary};
+pub use progsearch::{ProgramSearch, RoundSummary, SearchReport};

@@ -60,7 +60,9 @@ fn parallel_baseline_matches_core_serial_baseline() {
     // must be byte-identical to the analyzer's serial learning loop.
     let campaign = Campaign::new(chip(), Engine::new(4));
     let parallel = campaign.learn_baseline(0xB45E);
-    let serial = CrossDomainAnalyzer::new(chip()).learn_baseline(0xB45E);
+    let serial = CrossDomainAnalyzer::new(chip())
+        .unwrap()
+        .learn_baseline(0xB45E);
     assert_eq!(parallel.per_sensor_db.len(), serial.per_sensor_db.len());
     for (p, s) in parallel.per_sensor_db.iter().zip(&serial.per_sensor_db) {
         assert!(p.iter().zip(s).all(|(a, b)| a.to_bits() == b.to_bits()));

@@ -6,7 +6,7 @@ use psa_gatesim::trojan::TrojanKind;
 
 fn main() {
     let chip = TestChip::date24();
-    let analyzer = CrossDomainAnalyzer::new(&chip);
+    let analyzer = CrossDomainAnalyzer::new(&chip).expect("reference template library");
     let baseline = analyzer.learn_baseline(42);
     // No-trojan control.
     let v = analyzer

@@ -19,7 +19,7 @@ use psa_repro::gatesim::trojan::TrojanKind;
 fn main() {
     println!("building the simulated AES-128 test chip (placement + EM couplings)...");
     let chip = TestChip::date24();
-    let analyzer = CrossDomainAnalyzer::new(&chip);
+    let analyzer = CrossDomainAnalyzer::new(&chip).expect("reference template library");
 
     println!("learning the run-time baseline (Trojans dormant, same chip)...");
     let baseline = analyzer.learn_baseline(42);

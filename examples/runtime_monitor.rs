@@ -19,7 +19,7 @@ use psa_repro::gatesim::trojan::TrojanKind;
 fn main() {
     println!("building chip and learning baseline...");
     let chip = TestChip::date24();
-    let analyzer = CrossDomainAnalyzer::new(&chip);
+    let analyzer = CrossDomainAnalyzer::new(&chip).expect("reference template library");
     let baseline = analyzer.learn_baseline(0xBA5E);
     let timing = MonitorTiming::default();
 

@@ -15,12 +15,12 @@ fn chip() -> &'static TestChip {
 
 fn baseline() -> &'static Baseline {
     static BASE: OnceLock<Baseline> = OnceLock::new();
-    BASE.get_or_init(|| CrossDomainAnalyzer::new(chip()).learn_baseline(42))
+    BASE.get_or_init(|| CrossDomainAnalyzer::new(chip()).unwrap().learn_baseline(42))
 }
 
 #[test]
 fn control_run_stays_quiet() {
-    let analyzer = CrossDomainAnalyzer::new(chip());
+    let analyzer = CrossDomainAnalyzer::new(chip()).unwrap();
     let verdict = analyzer
         .analyze(&Scenario::baseline().with_seed(777), baseline())
         .expect("analysis runs");
@@ -31,7 +31,7 @@ fn control_run_stays_quiet() {
 
 #[test]
 fn t4_detected_localized_identified() {
-    let analyzer = CrossDomainAnalyzer::new(chip());
+    let analyzer = CrossDomainAnalyzer::new(chip()).unwrap();
     let verdict = analyzer
         .analyze(
             &Scenario::trojan_active(TrojanKind::T4).with_seed(104),
@@ -51,7 +51,7 @@ fn t4_detected_localized_identified() {
 #[test]
 fn small_trojan_t3_detected_and_localized() {
     // T3 is 1.14 % of the chip — the Trojan the baselines miss.
-    let analyzer = CrossDomainAnalyzer::new(chip());
+    let analyzer = CrossDomainAnalyzer::new(chip()).unwrap();
     let verdict = analyzer
         .analyze(
             &Scenario::trojan_active(TrojanKind::T3).with_seed(103),
@@ -65,7 +65,7 @@ fn small_trojan_t3_detected_and_localized() {
 
 #[test]
 fn t1_and_t2_verdicts() {
-    let analyzer = CrossDomainAnalyzer::new(chip());
+    let analyzer = CrossDomainAnalyzer::new(chip()).unwrap();
     for (kind, seed) in [(TrojanKind::T1, 101u64), (TrojanKind::T2, 102)] {
         let verdict = analyzer
             .analyze(&Scenario::trojan_active(kind).with_seed(seed), baseline())
@@ -78,7 +78,7 @@ fn t1_and_t2_verdicts() {
 
 #[test]
 fn localized_region_contains_the_trojan() {
-    let analyzer = CrossDomainAnalyzer::new(chip());
+    let analyzer = CrossDomainAnalyzer::new(chip()).unwrap();
     let verdict = analyzer
         .analyze(
             &Scenario::trojan_active(TrojanKind::T4).with_seed(200),
@@ -102,7 +102,7 @@ fn concurrent_trojans_still_detected_and_localized() {
     // Extension beyond the paper's one-at-a-time evaluation: T1 and T4
     // active together. Both sit under sensor 10; the monitor must still
     // detect and localize (identification may report either culprit).
-    let analyzer = CrossDomainAnalyzer::new(chip());
+    let analyzer = CrossDomainAnalyzer::new(chip()).unwrap();
     let scenario = Scenario::trojans_active(&[TrojanKind::T1, TrojanKind::T4]).with_seed(400);
     let verdict = analyzer
         .analyze(&scenario, baseline())
@@ -118,7 +118,7 @@ fn concurrent_trojans_still_detected_and_localized() {
 fn ranking_contrast_sensor10_vs_sensor0() {
     // The Fig 4 contrast, end to end: sensor 10's anomaly amplitude beats
     // the empty corner's by a wide margin.
-    let analyzer = CrossDomainAnalyzer::new(chip());
+    let analyzer = CrossDomainAnalyzer::new(chip()).unwrap();
     let verdict = analyzer
         .analyze(
             &Scenario::trojan_active(TrojanKind::T1).with_seed(300),

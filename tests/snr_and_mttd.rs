@@ -24,7 +24,11 @@ fn chip() -> &'static TestChip {
 
 fn baseline() -> &'static Baseline {
     static BASELINE: OnceLock<Baseline> = OnceLock::new();
-    BASELINE.get_or_init(|| CrossDomainAnalyzer::new(chip()).learn_baseline(0xBA5E))
+    BASELINE.get_or_init(|| {
+        CrossDomainAnalyzer::new(chip())
+            .unwrap()
+            .learn_baseline(0xBA5E)
+    })
 }
 
 #[test]
