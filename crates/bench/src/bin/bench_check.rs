@@ -2,7 +2,7 @@
 //! timing artifact regresses beyond a ratio of its committed seed.
 //!
 //! ```text
-//! bench_check <seed.json> <current.json> [--max-ratio R] [--min-seed-s S]
+//! bench_check <seed.json> <current.json> [--max-ratio R] [--min-seed-s S] [--rates]
 //! ```
 //!
 //! Defaults: `R = 2.5` (loose enough for shared-runner jitter),
@@ -14,11 +14,18 @@
 //! regressed, vanished from the current run, or has no seed
 //! counterpart; 2 usage/parse error (including a missing seed file
 //! under `benchmarks/seed/`).
+//!
+//! `--rates` switches to the throughput gate: instead of wall times it
+//! compares each stage's `records_per_s` with *inverted* semantics —
+//! the current rate must stay above `seed / R` (records/sec is
+//! higher-is-better). No noise floor applies; a rate stage without a
+//! seed counterpart always fails, so `BENCH_throughput.json` must be
+//! regenerated and committed whenever a stage is added.
 
 use psa_bench::regress;
 
 const USAGE: &str =
-    "usage: bench_check <seed.json> <current.json> [--max-ratio R] [--min-seed-s S]";
+    "usage: bench_check <seed.json> <current.json> [--max-ratio R] [--min-seed-s S] [--rates]";
 
 fn parse_f64(flag: &str, value: &str) -> Result<f64, String> {
     value
@@ -28,10 +35,11 @@ fn parse_f64(flag: &str, value: &str) -> Result<f64, String> {
 
 /// One pass over the arguments, consuming each flag's value so
 /// space-separated forms (`--max-ratio 3.0`) parse like `=` forms.
-fn parse_args(args: &[String]) -> Result<(String, String, f64, f64), String> {
+fn parse_args(args: &[String]) -> Result<(String, String, f64, f64, bool), String> {
     let mut paths = Vec::new();
     let mut max_ratio = 2.5;
     let mut min_seed_s = 0.05;
+    let mut rates = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         let mut take = |flag: &str| -> Result<Option<f64>, String> {
@@ -50,6 +58,8 @@ fn parse_args(args: &[String]) -> Result<(String, String, f64, f64), String> {
             max_ratio = v;
         } else if let Some(v) = take("--min-seed-s")? {
             min_seed_s = v;
+        } else if arg == "--rates" {
+            rates = true;
         } else if arg.starts_with('-') {
             return Err(format!("unknown flag `{arg}`\n{USAGE}"));
         } else {
@@ -58,12 +68,12 @@ fn parse_args(args: &[String]) -> Result<(String, String, f64, f64), String> {
     }
     let [seed_path, current_path] =
         <[String; 2]>::try_from(paths).map_err(|_| USAGE.to_string())?;
-    Ok((seed_path, current_path, max_ratio, min_seed_s))
+    Ok((seed_path, current_path, max_ratio, min_seed_s, rates))
 }
 
 fn run() -> Result<bool, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (seed_path, current_path, max_ratio, min_seed_s) = parse_args(&args)?;
+    let (seed_path, current_path, max_ratio, min_seed_s, rates) = parse_args(&args)?;
     let (seed_path, current_path) = (&seed_path, &current_path);
 
     let seed_text =
@@ -76,12 +86,27 @@ fn run() -> Result<bool, String> {
 
     println!(
         "bench_check: seed {seed_path} ({} workers) vs current {current_path} ({} workers), \
-         max-ratio {max_ratio}, noise floor {min_seed_s} s",
+         max-ratio {max_ratio}, {}",
         seed.workers.map_or("?".into(), |w| w.to_string()),
         current.workers.map_or("?".into(), |w| w.to_string()),
+        if rates {
+            "records/sec gate".to_string()
+        } else {
+            format!("noise floor {min_seed_s} s")
+        },
     );
-    let comparisons = regress::compare(&seed, &current, max_ratio, min_seed_s);
-    let (report, pass) = regress::render_report(&comparisons, max_ratio);
+    let (report, pass) = if rates {
+        if seed.rates.is_empty() {
+            return Err(format!(
+                "{seed_path}: no records_per_s entries (not a throughput artifact)"
+            ));
+        }
+        let comparisons = regress::compare_rates(&seed, &current, max_ratio);
+        regress::render_rate_report(&comparisons, max_ratio)
+    } else {
+        let comparisons = regress::compare(&seed, &current, max_ratio, min_seed_s);
+        regress::render_report(&comparisons, max_ratio)
+    };
     print!("{report}");
     Ok(pass)
 }
@@ -107,20 +132,22 @@ mod tests {
 
     #[test]
     fn accepts_space_and_equals_flag_forms() {
-        let (s, c, r, f) = parse_args(&args(&["a.json", "b.json"])).unwrap();
+        let (s, c, r, f, rates) = parse_args(&args(&["a.json", "b.json"])).unwrap();
         assert_eq!((s.as_str(), c.as_str()), ("a.json", "b.json"));
-        assert_eq!((r, f), (2.5, 0.05));
+        assert_eq!((r, f, rates), (2.5, 0.05, false));
         // The usage line's own space-separated form must parse.
-        let (_, _, r, f) = parse_args(&args(&["a.json", "b.json", "--max-ratio", "3.0"])).unwrap();
+        let (_, _, r, f, _) =
+            parse_args(&args(&["a.json", "b.json", "--max-ratio", "3.0"])).unwrap();
         assert_eq!((r, f), (3.0, 0.05));
-        let (_, _, r, f) = parse_args(&args(&[
+        let (_, _, r, f, rates) = parse_args(&args(&[
             "--min-seed-s=0.2",
             "a.json",
             "--max-ratio=4",
             "b.json",
+            "--rates",
         ]))
         .unwrap();
-        assert_eq!((r, f), (4.0, 0.2));
+        assert_eq!((r, f, rates), (4.0, 0.2, true));
     }
 
     #[test]

@@ -20,6 +20,12 @@ fn main() {
     let mut timer = ArtifactTimer::new();
 
     let chip = timer.time("build_chip", experiments::build_chip);
+    // Learn the run-time baseline and identification templates once and
+    // share them across fig5/mttd/table1/monitor — the learning pass is
+    // identical in every stage, so memoizing it cannot change stdout.
+    let shared = timer.time("learn_shared", || {
+        experiments::SharedArtifacts::learn(&chip, &engine)
+    });
     println!("== Table II: Trojan gates count and percentage ==");
     print!("{}", timer.time("table2", experiments::table2).render());
     println!("\n== SNR comparison (Sec. VI-B, Eq. 1) ==");
@@ -44,7 +50,9 @@ fn main() {
     println!("\n== Fig 5: zero-span time-domain identification at 48 MHz ==");
     print!(
         "{}",
-        timer.time("fig5", || experiments::fig5_report(&chip, &engine))
+        timer.time("fig5", || {
+            experiments::fig5_report_with(&chip, &engine, shared.templates.as_ref())
+        })
     );
     println!("\n== Sec. VI-C: sensor impedance across V/T corners ==");
     print!("{}", timer.time("vt_sweep", experiments::vt_table).render());
@@ -52,21 +60,30 @@ fn main() {
     print!(
         "{}",
         timer
-            .time("mttd", || experiments::mttd_table(&chip, &engine))
+            .time("mttd", || {
+                experiments::mttd_table_with(&chip, &engine, &shared.baseline)
+            })
             .render()
     );
     println!("\n== Table I: comparison of EM side-channel methods ==");
     print!(
         "{}",
         timer
-            .time("table1", || experiments::table1(&chip, 2, &engine))
+            .time("table1", || {
+                experiments::table1_with(&chip, 2, &engine, &shared)
+            })
             .render()
     );
     println!("\n== Streaming run-time monitor: event log (Sec. II-A) ==");
     print!(
         "{}",
         timer.time("monitor", || {
-            experiments::monitor_event_log(&experiments::monitor_outcomes(&chip, &engine, 1))
+            experiments::monitor_event_log(&experiments::monitor_outcomes_with(
+                &chip,
+                &engine,
+                1,
+                &shared.baseline,
+            ))
         })
     );
 

@@ -33,6 +33,52 @@ pub fn build_chip() -> TestChip {
     TestChip::date24()
 }
 
+/// The run-time baseline seed shared by the Table I, MTTD, and monitor
+/// pipelines (`0xBA5E`). One learned baseline serves all three — the
+/// learning is a pure function of `(chip, seed)`, so sharing is
+/// result-identical to each driver learning its own.
+pub const RUNTIME_BASELINE_SEED: u64 = 0xBA5E;
+
+/// Expensive chip-bound artifacts memoized across the `repro_all`
+/// pipelines: the learned run-time baseline (keyed by the chip and
+/// [`RUNTIME_BASELINE_SEED`]) and the identification template library
+/// (keyed by the chip alone). Historically each driver rebuilt both;
+/// building them once per process removes two baseline learnings and
+/// one template build from the full reproduction without changing a
+/// byte of output.
+#[derive(Debug, Clone)]
+pub struct SharedArtifacts {
+    /// The 16-sensor run-time baseline, learned at
+    /// [`RUNTIME_BASELINE_SEED`].
+    pub baseline: psa_core::cross_domain::Baseline,
+    /// The reference template library; `None` lets detectors build it
+    /// lazily on first use (the historical behaviour).
+    pub templates: Option<identify::TemplateLibrary>,
+}
+
+impl SharedArtifacts {
+    /// Learns the baseline (in parallel on the engine) and builds the
+    /// template library once.
+    pub fn learn(chip: &TestChip, engine: &Engine) -> Self {
+        let campaign = Campaign::new(chip, *engine);
+        SharedArtifacts {
+            baseline: campaign.learn_baseline(RUNTIME_BASELINE_SEED),
+            templates: Some(
+                identify::TemplateLibrary::reference(chip).expect("reference template library"),
+            ),
+        }
+    }
+
+    /// Wraps a pre-learned baseline, deferring the template build to
+    /// first use.
+    pub fn lazy(baseline: psa_core::cross_domain::Baseline) -> Self {
+        SharedArtifacts {
+            baseline,
+            templates: None,
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Table II — Trojan cell counts (cheap, exact).
 // ---------------------------------------------------------------------
@@ -143,6 +189,29 @@ pub fn table1_campaign(
     seeds_per_trojan: usize,
     engine: &Engine,
 ) -> Vec<MethodSummary> {
+    let campaign = Campaign::new(chip, *engine);
+    // The cross-domain baseline itself is learned in parallel (one job
+    // per sensor; byte-identical to the serial learning loop).
+    let baseline = campaign.learn_baseline(RUNTIME_BASELINE_SEED);
+    table1_campaign_with(
+        chip,
+        seeds_per_trojan,
+        engine,
+        &SharedArtifacts::lazy(baseline),
+    )
+}
+
+/// [`table1_campaign`] against pre-learned shared artifacts (the
+/// memoized `repro_all` path: baseline and template library built once
+/// per process instead of once per driver). Result-identical to the
+/// self-learning entry point — both artifacts are pure functions of the
+/// chip and the baseline seed.
+pub fn table1_campaign_with(
+    chip: &TestChip,
+    seeds_per_trojan: usize,
+    engine: &Engine,
+    shared: &SharedArtifacts,
+) -> Vec<MethodSummary> {
     let snr = snr_rows(chip, engine);
     let snr_of = |s: &str| {
         snr.iter()
@@ -152,9 +221,12 @@ pub fn table1_campaign(
     };
 
     let campaign = Campaign::new(chip, *engine);
-    // The cross-domain baseline itself is learned in parallel (one job
-    // per sensor; byte-identical to the serial learning loop).
-    let cross = CrossDomainDetector::with_baseline(campaign.learn_baseline(0xBA5E));
+    let cross = match &shared.templates {
+        Some(t) => {
+            CrossDomainDetector::with_baseline_and_templates(shared.baseline.clone(), t.clone())
+        }
+        None => CrossDomainDetector::with_baseline(shared.baseline.clone()),
+    };
     let euclid_probe = EuclideanDetector::external_probe(60);
     let euclid_coil = EuclideanDetector::single_coil(60);
     let backscatter = BackscatterDetector::default();
@@ -215,6 +287,23 @@ pub fn table1_campaign(
 
 /// Renders Table I.
 pub fn table1(chip: &TestChip, seeds_per_trojan: usize, engine: &Engine) -> Table {
+    let campaign = Campaign::new(chip, *engine);
+    let baseline = campaign.learn_baseline(RUNTIME_BASELINE_SEED);
+    table1_with(
+        chip,
+        seeds_per_trojan,
+        engine,
+        &SharedArtifacts::lazy(baseline),
+    )
+}
+
+/// [`table1`] against pre-learned shared artifacts.
+pub fn table1_with(
+    chip: &TestChip,
+    seeds_per_trojan: usize,
+    engine: &Engine,
+    shared: &SharedArtifacts,
+) -> Table {
     let mut t = Table::new(vec![
         "feature".into(),
         "external probe".into(),
@@ -222,7 +311,7 @@ pub fn table1(chip: &TestChip, seeds_per_trojan: usize, engine: &Engine) -> Tabl
         "single coil".into(),
         "PSA (this work)".into(),
     ]);
-    let s = table1_campaign(chip, seeds_per_trojan, engine);
+    let s = table1_campaign_with(chip, seeds_per_trojan, engine, shared);
     let by = |needle: &str| {
         s.iter()
             .find(|m| m.name.contains(needle))
@@ -431,8 +520,28 @@ pub struct Fig5Panel {
 /// Measures the four Fig 5 panels through the full analyzer, one engine
 /// job per Trojan (the analyzer and its learned baseline are shared).
 pub fn fig5_panels(chip: &TestChip, engine: &Engine) -> Vec<Fig5Panel> {
+    fig5_panels_with(chip, engine, None)
+}
+
+/// [`fig5_panels`] with an optionally pre-built template library (the
+/// identification templates are a pure function of the chip, so sharing
+/// the build with Table I's detector is result-identical). The Fig 5
+/// baseline seed (`0xF15`) is intentionally distinct from the run-time
+/// baseline, so the baseline itself is not shared.
+pub fn fig5_panels_with(
+    chip: &TestChip,
+    engine: &Engine,
+    templates: Option<&identify::TemplateLibrary>,
+) -> Vec<Fig5Panel> {
     let campaign = Campaign::new(chip, *engine);
-    let analyzer = CrossDomainAnalyzer::new(chip).expect("reference template library");
+    let analyzer = match templates {
+        Some(t) => CrossDomainAnalyzer::with_templates(
+            chip,
+            psa_core::cross_domain::AnalyzerConfig::default(),
+            t.clone(),
+        ),
+        None => CrossDomainAnalyzer::new(chip).expect("reference template library"),
+    };
     let baseline = campaign.learn_baseline(0xF15);
     campaign.run(&TrojanKind::ALL, |ctx, _, &kind| {
         let scenario = Scenario::trojan_active(kind).with_seed(555 + kind.index() as u64);
@@ -459,7 +568,16 @@ pub fn fig5_panels(chip: &TestChip, engine: &Engine) -> Vec<Fig5Panel> {
 
 /// Renders the Fig 5 report: envelopes and classification outcome.
 pub fn fig5_report(chip: &TestChip, engine: &Engine) -> String {
-    let panels = fig5_panels(chip, engine);
+    fig5_report_with(chip, engine, None)
+}
+
+/// [`fig5_report`] with an optionally pre-built template library.
+pub fn fig5_report_with(
+    chip: &TestChip,
+    engine: &Engine,
+    templates: Option<&identify::TemplateLibrary>,
+) -> String {
+    let panels = fig5_panels_with(chip, engine, templates);
     let mut out = String::new();
     let mut correct = 0;
     for p in &panels {
@@ -551,7 +669,17 @@ pub fn mttd_rows(
 /// Renders the MTTD table (plus the baseline-method latency context).
 pub fn mttd_table(chip: &TestChip, engine: &Engine) -> Table {
     let campaign = Campaign::new(chip, *engine);
-    let baseline = campaign.learn_baseline(0xBA5E);
+    let baseline = campaign.learn_baseline(RUNTIME_BASELINE_SEED);
+    mttd_table_with(chip, engine, &baseline)
+}
+
+/// [`mttd_table`] against a pre-learned run-time baseline (seed
+/// [`RUNTIME_BASELINE_SEED`]).
+pub fn mttd_table_with(
+    chip: &TestChip,
+    engine: &Engine,
+    baseline: &psa_core::cross_domain::Baseline,
+) -> Table {
     let mut t = Table::new(vec![
         "trojan".into(),
         "detected".into(),
@@ -559,7 +687,7 @@ pub fn mttd_table(chip: &TestChip, engine: &Engine) -> Table {
         "traces".into(),
         "paper".into(),
     ]);
-    for (kind, detected, ms, traces) in mttd_rows(chip, &baseline, engine) {
+    for (kind, detected, ms, traces) in mttd_rows(chip, baseline, engine) {
         t.row(vec![
             kind.to_string(),
             yes_no(detected),
@@ -690,7 +818,21 @@ pub fn monitor_jobs(seeds: usize) -> Vec<MonitorJob> {
 /// parallel first) and returns the session outcomes in submission
 /// order.
 pub fn monitor_outcomes(chip: &TestChip, engine: &Engine, seeds: usize) -> Vec<MonitorOutcome> {
-    let campaign = MonitorCampaign::new(chip, *engine, 0xBA5E);
+    let campaign = MonitorCampaign::new(chip, *engine, RUNTIME_BASELINE_SEED);
+    campaign
+        .run(&monitor_jobs(seeds))
+        .expect("monitor sessions run on built-in sensors")
+}
+
+/// [`monitor_outcomes`] against a pre-learned run-time baseline (seed
+/// [`RUNTIME_BASELINE_SEED`]), skipping the in-campaign learning pass.
+pub fn monitor_outcomes_with(
+    chip: &TestChip,
+    engine: &Engine,
+    seeds: usize,
+    baseline: &psa_core::cross_domain::Baseline,
+) -> Vec<MonitorOutcome> {
+    let campaign = MonitorCampaign::with_baseline(chip, *engine, baseline.clone());
     campaign
         .run(&monitor_jobs(seeds))
         .expect("monitor sessions run on built-in sensors")

@@ -235,6 +235,86 @@ impl ArtifactTimer {
     }
 }
 
+/// Wall-clock timer for throughput stages: like [`ArtifactTimer`] but
+/// each stage also records how many records it processed, and the JSON
+/// export carries a `records_per_s` field per stage — the higher-is-
+/// better metric [`crate::regress::compare_rates`] gates on.
+#[derive(Debug, Default)]
+pub struct ThroughputTimer {
+    entries: Vec<(String, f64, u64)>,
+}
+
+impl ThroughputTimer {
+    /// An empty timer.
+    pub fn new() -> Self {
+        ThroughputTimer::default()
+    }
+
+    /// Runs `f`, recording its wall time under `name` with `records`
+    /// processed; returns `f`'s result.
+    pub fn time<T>(&mut self, name: &str, records: u64, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.entries
+            .push((name.to_string(), t0.elapsed().as_secs_f64(), records));
+        out
+    }
+
+    /// Recorded `(stage, wall_seconds, records)` entries, in execution
+    /// order.
+    pub fn entries(&self) -> &[(String, f64, u64)] {
+        &self.entries
+    }
+
+    /// Total recorded wall time, seconds.
+    pub fn total_s(&self) -> f64 {
+        self.entries.iter().map(|(_, s, _)| s).sum()
+    }
+
+    /// Records/sec for one entry (0 when the stage took no measurable
+    /// time — a degenerate rate [`crate::regress::compare_rates`]
+    /// skips rather than gates).
+    pub fn rate(wall_s: f64, records: u64) -> f64 {
+        if wall_s > 0.0 {
+            records as f64 / wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Renders the stage report as `psa-bench-json/1` JSON. Each
+    /// artifact entry carries `wall_s` (so the document is also a valid
+    /// wall-time artifact) plus `records` and `records_per_s`.
+    pub fn to_json(&self, workers: usize) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"psa-bench-json/1\",\n");
+        out.push_str(&format!("  \"workers\": {workers},\n"));
+        out.push_str(&format!("  \"total_s\": {:.6},\n", self.total_s()));
+        out.push_str("  \"artifacts\": [\n");
+        for (i, (name, secs, records)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"wall_s\": {:.6}, \"records\": {records}, \
+                 \"records_per_s\": {:.6}}}{comma}\n",
+                json_escape(name),
+                secs,
+                Self::rate(*secs, *records),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: &std::path::Path, workers: usize) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json(workers))
+    }
+}
+
 /// Escapes a string for inclusion in a JSON string literal.
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -306,6 +386,24 @@ mod tests {
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn throughput_timer_exports_rates() {
+        let mut timer = ThroughputTimer::new();
+        timer.time("acquire", 10, || {
+            std::thread::sleep(Duration::from_millis(2))
+        });
+        timer.time("instant", 5, || ());
+        let json = timer.to_json(1);
+        let parsed = crate::regress::parse_bench_json(&json).expect("parses");
+        assert_eq!(parsed.workers, Some(1));
+        assert_eq!(parsed.rates.len(), 2);
+        assert_eq!(parsed.rates[0].0, "acquire");
+        assert!(parsed.rates[0].1 > 0.0 && parsed.rates[0].1 <= 5000.0);
+        // Wall times ride along, so the doc doubles as a timing artifact.
+        assert_eq!(parsed.artifacts.len(), 2);
+        assert_eq!(ThroughputTimer::rate(0.0, 100), 0.0);
     }
 
     #[test]

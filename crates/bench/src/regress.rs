@@ -22,6 +22,11 @@ pub struct BenchJson {
     pub total_s: Option<f64>,
     /// Per-artifact wall times, in file order.
     pub artifacts: Vec<(String, f64)>,
+    /// Per-artifact throughput (records per second), in file order —
+    /// present only for entries that carry a `records_per_s` field
+    /// (the `throughput` binary's output). Gated by [`compare_rates`]
+    /// with inverted semantics: *lower* is a regression.
+    pub rates: Vec<(String, f64)>,
 }
 
 /// Parses a `psa-bench-json/1` document.
@@ -38,6 +43,7 @@ pub fn parse_bench_json(text: &str) -> Result<BenchJson, String> {
         workers: None,
         total_s: None,
         artifacts: Vec::new(),
+        rates: Vec::new(),
     };
     for line in text.lines() {
         if out.workers.is_none() {
@@ -55,6 +61,9 @@ pub fn parse_bench_json(text: &str) -> Result<BenchJson, String> {
                 .ok_or_else(|| format!("malformed artifact entry: {}", line.trim()))?;
             let wall = field_number(line, "wall_s")
                 .ok_or_else(|| format!("artifact `{name}` is missing wall_s"))?;
+            if let Some(rate) = field_number(line, "records_per_s") {
+                out.rates.push((name.clone(), rate));
+            }
             out.artifacts.push((name, wall));
         }
     }
@@ -175,6 +184,114 @@ pub fn compare(
         });
     }
     comparisons
+}
+
+/// Compares throughput rates with *inverted* semantics: records/sec is
+/// higher-is-better, so an artifact regresses when its current rate
+/// drops below `seed / max_ratio`. Every finite, positive seed rate
+/// must exist in `current`; a degenerate seed rate (zero, negative, or
+/// non-finite — a bad seed measurement) is skipped rather than gated.
+/// Current-side rates without a seed counterpart fail as
+/// [`Verdict::Unseeded`] unconditionally — unlike wall times there is
+/// no "trivial" rate, so a new stage can never ride along ungated.
+pub fn compare_rates(seed: &BenchJson, current: &BenchJson, max_ratio: f64) -> Vec<Comparison> {
+    let current_by_name: BTreeMap<&str, f64> = current
+        .rates
+        .iter()
+        .map(|(n, r)| (n.as_str(), *r))
+        .collect();
+    let mut comparisons: Vec<Comparison> = seed
+        .rates
+        .iter()
+        .map(|(name, seed_rate)| {
+            let current_rate = current_by_name.get(name.as_str()).copied();
+            let verdict = match current_rate {
+                _ if !(*seed_rate > 0.0 && seed_rate.is_finite()) => Verdict::Skipped,
+                None => Verdict::Missing,
+                Some(cur) if cur < seed_rate / max_ratio => Verdict::Regressed,
+                Some(_) => Verdict::Ok,
+            };
+            Comparison {
+                name: name.clone(),
+                seed_s: Some(*seed_rate),
+                current_s: current_rate,
+                verdict,
+            }
+        })
+        .collect();
+    let seeded: std::collections::BTreeSet<&str> =
+        seed.rates.iter().map(|(n, _)| n.as_str()).collect();
+    for (name, rate) in &current.rates {
+        if seeded.contains(name.as_str()) {
+            continue;
+        }
+        comparisons.push(Comparison {
+            name: name.clone(),
+            seed_s: None,
+            current_s: Some(*rate),
+            verdict: Verdict::Unseeded,
+        });
+    }
+    comparisons
+}
+
+/// Renders the [`compare_rates`] table plus a pass/fail tail line; the
+/// bool is `true` when the gate passes. The `Comparison.seed_s` /
+/// `current_s` fields hold records/sec here, and the ratio column is
+/// `now / seed` — below `1/max_ratio` is the failing direction.
+pub fn render_rate_report(comparisons: &[Comparison], max_ratio: f64) -> (String, bool) {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:>12} {:>12} {:>7}  verdict\n",
+        "stage", "seed rec/s", "now rec/s", "ratio"
+    ));
+    let mut failures = 0usize;
+    for c in comparisons {
+        let seed = match c.seed_s {
+            Some(s) => format!("{s:.2}"),
+            None => "-".into(),
+        };
+        let (now, ratio) = match (c.current_s, c.seed_s) {
+            (Some(cur), Some(seed_r)) if seed_r > 0.0 => {
+                (format!("{cur:.2}"), format!("{:.2}x", cur / seed_r))
+            }
+            (Some(cur), _) => (format!("{cur:.2}"), "-".into()),
+            (None, _) => ("-".into(), "-".into()),
+        };
+        let verdict = match c.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Skipped => "skipped (degenerate seed rate)",
+            Verdict::Missing => {
+                failures += 1;
+                "MISSING from current run"
+            }
+            Verdict::Regressed => {
+                failures += 1;
+                "REGRESSED (slower than seed / max-ratio)"
+            }
+            Verdict::Unseeded => {
+                failures += 1;
+                "NO SEED counterpart (regenerate and commit the seed)"
+            }
+        };
+        out.push_str(&format!(
+            "{:<20} {:>12} {:>12} {:>7}  {}\n",
+            c.name, seed, now, ratio, verdict
+        ));
+    }
+    let pass = failures == 0;
+    if pass {
+        out.push_str(&format!(
+            "rate gate: OK ({} stage(s) within {max_ratio}x of seed throughput)\n",
+            comparisons.len()
+        ));
+    } else {
+        out.push_str(&format!(
+            "rate gate: FAILED ({failures} stage(s) slower than seed/{max_ratio}, \
+             missing, or unseeded)\n"
+        ));
+    }
+    (out, pass)
 }
 
 /// Renders the comparison table plus a pass/fail tail line; the bool is
@@ -339,6 +456,79 @@ mod tests {
         let cmp = compare(&seed, &current, 2.5, 0.05);
         assert_eq!(cmp[1].verdict, Verdict::Skipped);
         assert!(render_report(&cmp, 2.5).1);
+    }
+
+    fn rate_doc(entries: &[(&str, f64)]) -> BenchJson {
+        // Shape of the throughput binary's JSON: wall_s plus a
+        // records_per_s field per stage (rates derived arbitrarily from
+        // a fixed wall here; only the rate field matters to the gate).
+        let mut json = String::from("{\n  \"schema\": \"psa-bench-json/1\",\n");
+        json.push_str("  \"workers\": 1,\n  \"total_s\": 1.0,\n  \"artifacts\": [\n");
+        for (i, (n, r)) in entries.iter().enumerate() {
+            let comma = if i + 1 < entries.len() { "," } else { "" };
+            json.push_str(&format!(
+                "    {{\"name\": \"{n}\", \"wall_s\": 1.000000, \"records\": 10, \
+                 \"records_per_s\": {r:.6}}}{comma}\n"
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        parse_bench_json(&json).expect("well-formed")
+    }
+
+    #[test]
+    fn parses_rates_alongside_wall_times() {
+        let parsed = rate_doc(&[("acquire", 25.0), ("rfft", 900.0)]);
+        assert_eq!(parsed.artifacts.len(), 2); // wall times still parsed
+        assert_eq!(
+            parsed.rates,
+            vec![("acquire".into(), 25.0), ("rfft".into(), 900.0)]
+        );
+        // Plain wall-time documents carry no rates.
+        assert!(doc(&[("table1", 1.0)]).rates.is_empty());
+    }
+
+    #[test]
+    fn rate_gate_fails_on_slowdown_not_speedup() {
+        let seed = rate_doc(&[("acquire", 100.0), ("rfft", 1000.0)]);
+        // acquire got 10x faster (fine); rfft dropped below seed/2.5.
+        let current = rate_doc(&[("acquire", 1000.0), ("rfft", 399.0)]);
+        let cmp = compare_rates(&seed, &current, 2.5);
+        assert_eq!(cmp[0].verdict, Verdict::Ok);
+        assert_eq!(cmp[1].verdict, Verdict::Regressed);
+        let (report, pass) = render_rate_report(&cmp, 2.5);
+        assert!(!pass);
+        assert!(report.contains("REGRESSED"));
+        assert!(report.contains("rate gate: FAILED"));
+        // Exactly at the boundary passes (strict `<` comparison).
+        let boundary = rate_doc(&[("acquire", 40.0), ("rfft", 400.0)]);
+        let cmp = compare_rates(&seed, &boundary, 2.5);
+        assert!(cmp.iter().all(|c| c.verdict == Verdict::Ok));
+    }
+
+    #[test]
+    fn rate_gate_fails_missing_and_unseeded_stages() {
+        let seed = rate_doc(&[("acquire", 100.0)]);
+        let current = rate_doc(&[("brand_new", 5.0)]);
+        let cmp = compare_rates(&seed, &current, 2.5);
+        assert_eq!(cmp[0].verdict, Verdict::Missing);
+        // No noise floor on rates: even a slow new stage fails unseeded.
+        assert_eq!(cmp[1].verdict, Verdict::Unseeded);
+        let (report, pass) = render_rate_report(&cmp, 2.5);
+        assert!(!pass);
+        assert!(report.contains("MISSING"));
+        assert!(report.contains("NO SEED counterpart"));
+    }
+
+    #[test]
+    fn degenerate_seed_rates_are_skipped() {
+        // A zero/NaN seed rate is a broken measurement, not a target;
+        // gating against it would divide by zero or fail forever.
+        let seed = rate_doc(&[("broken", 0.0), ("acquire", 100.0)]);
+        let current = rate_doc(&[("broken", 50.0), ("acquire", 100.0)]);
+        let cmp = compare_rates(&seed, &current, 2.5);
+        assert_eq!(cmp[0].verdict, Verdict::Skipped);
+        assert_eq!(cmp[1].verdict, Verdict::Ok);
+        assert!(render_rate_report(&cmp, 2.5).1);
     }
 
     #[test]

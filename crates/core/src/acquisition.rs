@@ -137,6 +137,38 @@ impl Default for TraceSet {
 /// Results are **bit-identical** to the corresponding [`Acquisition`]
 /// methods and independent of what the context processed before — the
 /// contract the parallel campaign engine's determinism rests on.
+///
+/// # Buffer recycling
+///
+/// Every method with an `_into` suffix writes into caller-owned
+/// buffers (clearing them first) instead of allocating: `TraceSet`
+/// record slots, flux/EMF scratch, and spectrum accumulators are all
+/// reused across calls. The `_into` variants are **required** on any
+/// per-record hot path — a monitor tick, a campaign job body, a
+/// detection trial — where the allocating convenience wrappers (e.g.
+/// [`Acquisition::acquire`]) would reallocate 65 536-sample buffers
+/// thousands of times per sweep. One-shot callers (tests, examples,
+/// report rendering) can use the allocating forms freely; both produce
+/// bit-identical results.
+///
+/// ```
+/// use psa_core::acquisition::{AcqContext, TraceSet};
+/// use psa_core::chip::{SensorSelect, TestChip};
+/// use psa_core::scenario::Scenario;
+///
+/// let chip = TestChip::date24();
+/// let mut ctx = AcqContext::new(&chip);
+/// let mut out = TraceSet::default(); // reusable record slot
+/// for seed in 0..2 {
+///     let scenario = Scenario::baseline().with_seed(seed);
+///     // Refills `out`, recycling its record buffers.
+///     ctx.acquire_into(&scenario, SensorSelect::Psa(10), 1, &mut out)?;
+///     // One cached-plan FFT of the newest record (linear amplitude).
+///     let row = ctx.fullres_amplitude_row(&out.records[0])?;
+///     assert!(!row.is_empty());
+/// }
+/// # Ok::<(), psa_core::CoreError>(())
+/// ```
 #[derive(Debug)]
 pub struct AcqContext<'c> {
     chip: &'c TestChip,
@@ -427,6 +459,25 @@ impl<'c> AcqContext<'c> {
             });
         }
         Ok(self.fullres.averaged_spectrum_db(&traces.records)?)
+    }
+
+    /// Full-resolution **linear** amplitude spectrum of a single record,
+    /// borrowed from the detector-window scratch (valid until the next
+    /// spectral call on this context).
+    ///
+    /// This is one addend of [`fullres_spectrum_db`]'s window average —
+    /// a pure function of the record samples — which lets the streaming
+    /// monitor cache per-record rows and average them incrementally
+    /// (one FFT per tick instead of one per window record) while staying
+    /// bit-identical to the full-window recompute.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Dsp`] for an empty record.
+    ///
+    /// [`fullres_spectrum_db`]: Self::fullres_spectrum_db
+    pub fn fullres_amplitude_row(&mut self, record: &[f64]) -> Result<&[f64], CoreError> {
+        Ok(self.fullres.amplitude_spectrum(record)?)
     }
 
     /// Acquire `n_records` and render the full-resolution detector

@@ -110,6 +110,20 @@ impl CrossDomainDetector {
         }
     }
 
+    /// Wraps an already-learned baseline *and* an already-built template
+    /// library, skipping the lazy first-detection build entirely — the
+    /// memoized path for drivers that run several pipelines against the
+    /// same chip (the library is a pure function of the chip, so sharing
+    /// one build is result-identical to rebuilding).
+    pub fn with_baseline_and_templates(baseline: Baseline, templates: TemplateLibrary) -> Self {
+        let slot = OnceLock::new();
+        let _ = slot.set(templates);
+        CrossDomainDetector {
+            baseline,
+            templates: slot,
+        }
+    }
+
     /// Access to the learned baseline.
     pub fn baseline(&self) -> &Baseline {
         &self.baseline
@@ -317,11 +331,16 @@ impl BackscatterDetector {
     /// Synthesizes one backscatter capture: the carrier AM-modulated by
     /// the chip's total switching activity (impedance modulation), plus
     /// measurement noise; returns its spectrum feature vector.
+    ///
+    /// `scratch` carries the Hann window, real-input FFT plan, and work
+    /// buffers across the detection's 100 captures (its outputs are
+    /// bit-identical to the one-shot spectrum path).
     fn capture_features(
         &self,
         chip: &TestChip,
         scenario: &Scenario,
         record_index: u64,
+        scratch: &mut psa_dsp::batch::SpectrumScratch,
     ) -> Result<Vec<f64>, CoreError> {
         use psa_gatesim::activity::ActivitySimulator;
         let fs = crate::calib::sample_rate_hz();
@@ -365,7 +384,7 @@ impl BackscatterDetector {
             }
         }
         // Feature vector: amplitude spectrum around the carrier.
-        let spec = spectrum::amplitude_spectrum(&rx, psa_dsp::window::Window::Hann);
+        let spec = scratch.amplitude_spectrum(&rx)?;
         let bin = psa_dsp::fft::freq_bin(self.carrier_hz, rx.len(), fs);
         let lo = bin.saturating_sub(64);
         let hi = (bin + 64).min(spec.len());
@@ -394,12 +413,23 @@ impl Detector for BackscatterDetector {
             extra_trojans: Vec::new(),
             ..scenario.clone()
         };
+        let mut scratch = psa_dsp::batch::SpectrumScratch::new(psa_dsp::window::Window::Hann);
         let mut features = Vec::with_capacity(2 * self.traces_per_side);
         for i in 0..self.traces_per_side {
-            features.push(self.capture_features(chip, &reference, 10_000 + i as u64)?);
+            features.push(self.capture_features(
+                chip,
+                &reference,
+                10_000 + i as u64,
+                &mut scratch,
+            )?);
         }
         for i in 0..self.traces_per_side {
-            features.push(self.capture_features(chip, scenario, 20_000 + i as u64)?);
+            features.push(self.capture_features(
+                chip,
+                scenario,
+                20_000 + i as u64,
+                &mut scratch,
+            )?);
         }
         let pca = Pca::fit(&features, 2.min(features[0].len()))?;
         let projected = pca.transform(&features)?;

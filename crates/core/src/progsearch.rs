@@ -4,7 +4,7 @@
 //! realize arbitrary coil geometries, not just the 16 presets behind
 //! `PSA_sel`. This module makes that capability searchable: given a
 //! Trojan region, it scores candidate
-//! [`CoilProgram`](psa_array::program::CoilProgram)s by their measured
+//! [`CoilProgram`]s by their measured
 //! **detection SNR** — the dB excess of the Trojan's emergent sideband
 //! over the candidate's own quiet-chip baseline envelope, the exact
 //! statistic the cross-domain detector thresholds — and provides the

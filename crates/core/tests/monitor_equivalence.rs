@@ -1,0 +1,161 @@
+//! Regression: the cached-row sliding-spectrum swap must leave monitor
+//! sessions byte-identical to the historical full-ring recompute, and
+//! the opt-in incremental accumulator must stay within its drift bound.
+
+use psa_core::acquisition::{AcqContext, TraceSet};
+use psa_core::chip::TestChip;
+use psa_core::cross_domain::{AnalyzerConfig, Baseline};
+use psa_core::monitor::{
+    ActivationSchedule, Monitor, MonitorEvent, MonitorEventKind, ScheduleChange, SlidingConfig,
+    SlidingDetector, SpectrumUpdate, StreamSource,
+};
+use psa_core::mttd::MonitorTiming;
+use psa_gatesim::trojan::TrojanKind;
+
+const SENSOR: usize = 10;
+
+/// Baseline with only the watched sensor actually learned (the other
+/// slots are placeholders the detector never touches) — keeps the test
+/// off the 16-sensor learning cost.
+fn one_sensor_baseline(ctx: &mut AcqContext<'_>) -> Baseline {
+    let config = AnalyzerConfig::default();
+    let mut per_sensor_db = vec![Vec::new(); SENSOR];
+    per_sensor_db.push(Baseline::sensor_db_with(&config, ctx, 0xBA5E, SENSOR));
+    Baseline { per_sensor_db }
+}
+
+/// A session with an activation, a deactivation (alarm + clear), and
+/// quiet tail long enough to trigger a rolling-baseline recalibration.
+fn schedule() -> ActivationSchedule {
+    ActivationSchedule::trojan_at(TrojanKind::T1, 2, 12)
+        .step(6, ScheduleChange::TrojanOff(TrojanKind::T1))
+        .with_seed(4242)
+}
+
+fn config(update: SpectrumUpdate) -> SlidingConfig {
+    SlidingConfig {
+        min_window_records: 2,
+        recalibrate_after: Some(2),
+        spectrum_update: update,
+        ..SlidingConfig::default()
+    }
+}
+
+/// The spectrum regression at the root of log equality: every tick's
+/// detector spectrum — across warm fill, alarm, clear, and
+/// recalibration ticks — is bit-identical to the historical
+/// full-window recompute (`fullres_spectrum_db` over the rolled ring).
+/// Events are a pure function of these spectra through unchanged code,
+/// so this pins the event log bit-for-bit.
+#[test]
+fn cached_rows_match_full_window_recompute_bitwise() {
+    let chip = TestChip::date24();
+    let mut ctx = AcqContext::new(&chip);
+    let baseline = one_sensor_baseline(&mut ctx);
+    let stream = StreamSource::new(schedule());
+    let mut detector =
+        SlidingDetector::new(&baseline, &[SENSOR], config(SpectrumUpdate::CachedExact)).unwrap();
+
+    // Mirror of the pre-swap pipeline: an independently pulled window,
+    // recomputed in full every tick.
+    let mut mirror_ctx = AcqContext::new(&chip);
+    let mut mirror_fresh = TraceSet::default();
+    let mut mirror_window = TraceSet::default();
+    let depth = detector.config().window_records;
+
+    let mut saw_alarm = false;
+    let mut saw_clear = false;
+    let mut saw_recalib = false;
+    for record in 0..stream.horizon() {
+        let scenario = stream.schedule().scenario_at(record);
+        let obs = detector.observe(&mut ctx, &stream, &scenario, 0).unwrap();
+        saw_alarm |= obs.newly_alarmed;
+        saw_clear |= obs.cleared;
+        saw_recalib |= obs.recalibrated;
+
+        stream
+            .pull_scenario_into(&mut mirror_ctx, &scenario, SENSOR, &mut mirror_fresh)
+            .unwrap();
+        mirror_window.fs_hz = mirror_fresh.fs_hz;
+        mirror_window.sensor = mirror_fresh.sensor;
+        mirror_window.records.push(mirror_fresh.records[0].clone());
+        if mirror_window.records.len() > depth {
+            mirror_window.records.remove(0);
+        }
+        if obs.spec.is_empty() {
+            // Warm fill: the detector compared nothing this tick.
+            continue;
+        }
+        let fresh = mirror_ctx.fullres_spectrum_db(&mirror_window).unwrap();
+        assert_eq!(obs.spec.len(), fresh.len());
+        for (k, (a, b)) in obs.spec.iter().zip(&fresh).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "record {record} bin {k}: cached {a} vs recompute {b}"
+            );
+        }
+    }
+    // The session must actually exercise the state machine for the
+    // equivalence to mean anything.
+    assert!(saw_alarm, "session never alarmed");
+    assert!(saw_clear, "session never cleared");
+    assert!(saw_recalib, "session never recalibrated");
+}
+
+fn run_session(chip: &TestChip, baseline: &Baseline, update: SpectrumUpdate) -> Vec<MonitorEvent> {
+    let mut ctx = AcqContext::new(chip);
+    let detector = SlidingDetector::new(baseline, &[SENSOR], config(update)).unwrap();
+    let mut monitor = Monitor::new(
+        StreamSource::new(schedule()),
+        detector,
+        MonitorTiming::default(),
+    );
+    monitor.run_to_end(&mut ctx).unwrap();
+    monitor.into_events()
+}
+
+/// `Incremental { resync_every: 1 }` recomputes exactly every tick, so
+/// whole-session event logs must equal the default mode's exactly —
+/// floats included.
+#[test]
+fn incremental_with_per_tick_resync_reproduces_exact_log() {
+    let chip = TestChip::date24();
+    let baseline = one_sensor_baseline(&mut AcqContext::new(&chip));
+    let exact = run_session(&chip, &baseline, SpectrumUpdate::CachedExact);
+    let incr = run_session(
+        &chip,
+        &baseline,
+        SpectrumUpdate::Incremental { resync_every: 1 },
+    );
+    assert!(!exact.is_empty());
+    assert_eq!(exact, incr);
+}
+
+/// With a long resync interval the accumulator drifts only in the last
+/// few ulp — far below the 10 dB threshold — so the *decisions* (which
+/// records alarm, clear, recalibrate, on which sensor) are unchanged
+/// even though spectra may differ microscopically.
+#[test]
+fn incremental_drift_does_not_change_decisions() {
+    let chip = TestChip::date24();
+    let baseline = one_sensor_baseline(&mut AcqContext::new(&chip));
+    let exact = run_session(&chip, &baseline, SpectrumUpdate::CachedExact);
+    let incr = run_session(
+        &chip,
+        &baseline,
+        SpectrumUpdate::Incremental { resync_every: 64 },
+    );
+    let shape: fn(&MonitorEvent) -> (usize, usize, &'static str) = |e| {
+        let kind = match e.kind {
+            MonitorEventKind::Alarm { .. } => "alarm",
+            MonitorEventKind::Clear => "clear",
+            MonitorEventKind::Localized => "localized",
+            MonitorEventKind::DriftRecalibrated => "recalibrated",
+        };
+        (e.record, e.sensor, kind)
+    };
+    let exact_shape: Vec<_> = exact.iter().map(shape).collect();
+    let incr_shape: Vec<_> = incr.iter().map(shape).collect();
+    assert_eq!(exact_shape, incr_shape);
+}

@@ -13,16 +13,26 @@
 //!   so planned and ad-hoc transforms are **bit-identical** — the
 //!   property the parallel/serial equivalence guarantee rests on.
 //! * [`SpectrumScratch`] — a per-worker context caching the window
-//!   coefficients, coherent gain, FFT plan, and every intermediate
-//!   buffer for amplitude-spectrum and trace-averaging pipelines.
+//!   coefficients, coherent gain, real-input FFT plan
+//!   ([`crate::rfft::RfftPlan`]), and every intermediate buffer for
+//!   amplitude-spectrum and trace-averaging pipelines.
+//! * [`weighted_row_sum_into`] — the coupling-row × record-batch
+//!   matrix kernel behind EMF superposition: `out[j] = Σ_i w[i]·rows[i][j]`
+//!   with the accumulation order fixed (row-major, rows in slice order)
+//!   so callers inherit bit-reproducibility.
 //!
 //! Outputs are bit-identical to the corresponding one-shot functions
 //! ([`crate::spectrum::try_amplitude_spectrum`],
 //! [`crate::spectrum::average_traces`]); tests assert exact equality.
+//! Both paths share the same packed real-input transform, so switching
+//! the pipeline to [`crate::rfft`] preserved every path-vs-path bitwise
+//! guarantee even though the packed transform itself differs from the
+//! complex-FFT result at the ≤1e-12·max|X| level.
 
 use crate::complex::Complex;
 use crate::error::DspError;
 use crate::fft;
+use crate::rfft::RfftPlan;
 use crate::spectrum;
 use crate::window::Window;
 use std::f64::consts::PI;
@@ -134,6 +144,59 @@ impl FftPlan {
     }
 }
 
+/// Coupling-row × record-batch matrix kernel:
+/// `acc[j] += Σ_i (w_i · scale) · rows[i][j]`, rows accumulated in slice
+/// order, row-major.
+///
+/// This is the superposition step of EMF synthesis (each source's
+/// current waveform weighted by its coupling), hoisted here so the
+/// acquisition hot path and any future blocked/fused variants share one
+/// kernel. The accumulation order is fixed — row `i` is fully added
+/// before row `i+1` — so callers inherit bit-reproducible results; the
+/// field-layer superposition that calls this is bit-identical to its
+/// historical inline loop.
+///
+/// `acc` is **added into**, not cleared: zero it first for a plain
+/// weighted sum, or chain calls to superpose several batches.
+///
+/// # Example
+///
+/// ```
+/// use psa_dsp::batch::weighted_row_sum_into;
+/// let r0 = [1.0, 2.0];
+/// let r1 = [10.0, 20.0];
+/// let mut acc = [0.0; 2];
+/// weighted_row_sum_into(&[(&r0, 2.0), (&r1, 0.5)], 1.0, &mut acc)?;
+/// assert_eq!(acc, [7.0, 14.0]);
+/// # Ok::<(), psa_dsp::DspError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`DspError::InvalidLength`] when any row's length differs
+/// from `acc.len()`.
+pub fn weighted_row_sum_into(
+    rows: &[(&[f64], f64)],
+    scale: f64,
+    acc: &mut [f64],
+) -> Result<(), DspError> {
+    for (row, _) in rows {
+        if row.len() != acc.len() {
+            return Err(DspError::InvalidLength {
+                what: "weighted row (length must match the accumulator)",
+                got: row.len(),
+            });
+        }
+    }
+    for (row, weight) in rows {
+        let w = weight * scale;
+        for (a, &x) in acc.iter_mut().zip(row.iter()) {
+            *a += w * x;
+        }
+    }
+    Ok(())
+}
+
 /// Reusable spectral-analysis scratch for one worker.
 ///
 /// Owns every buffer the amplitude-spectrum pipeline needs (window
@@ -158,7 +221,9 @@ pub struct SpectrumScratch {
     n: usize,
     coeffs: Vec<f64>,
     coherent_gain: f64,
-    plan: Option<FftPlan>,
+    rplan: Option<RfftPlan>,
+    real: Vec<f64>,
+    packed: Vec<Complex>,
     buf: Vec<Complex>,
     amp: Vec<f64>,
     acc: Vec<f64>,
@@ -173,7 +238,9 @@ impl SpectrumScratch {
             n: 0,
             coeffs: Vec::new(),
             coherent_gain: 0.0,
-            plan: None,
+            rplan: None,
+            real: Vec::new(),
+            packed: Vec::new(),
             buf: Vec::new(),
             amp: Vec::new(),
             acc: Vec::new(),
@@ -192,8 +259,8 @@ impl SpectrumScratch {
         }
         self.coeffs = self.window.coefficients(n);
         self.coherent_gain = self.window.coherent_gain(n);
-        self.plan = if fft::is_power_of_two(n) {
-            Some(FftPlan::new(n)?)
+        self.rplan = if fft::is_power_of_two(n) {
+            Some(RfftPlan::new(n)?)
         } else {
             None
         };
@@ -203,7 +270,9 @@ impl SpectrumScratch {
 
     /// One-sided amplitude spectrum of `signal`, borrowed from the
     /// internal buffer (valid until the next call). Bit-identical to
-    /// [`spectrum::try_amplitude_spectrum`].
+    /// [`spectrum::try_amplitude_spectrum`]: both run the same packed
+    /// real-input transform ([`crate::rfft`]) over the same windowed
+    /// samples.
     ///
     /// # Errors
     ///
@@ -216,17 +285,14 @@ impl SpectrumScratch {
         self.ensure(n)?;
 
         let spec_half = fft::one_sided_len(n);
-        if let Some(plan) = &self.plan {
-            // Window while loading the complex work buffer: the products
-            // are the same `signal[i] * w[i]` the one-shot path computes.
-            self.buf.clear();
-            self.buf.extend(
-                signal
-                    .iter()
-                    .zip(&self.coeffs)
-                    .map(|(&x, &w)| Complex::new(x * w, 0.0)),
-            );
-            plan.forward(&mut self.buf)?;
+        if let Some(plan) = &self.rplan {
+            // Window into the recycled real buffer: the products are the
+            // same `signal[i] * w[i]` the one-shot path computes, and the
+            // planned transform matches `rfft_one_sided` bit-for-bit.
+            self.real.clear();
+            self.real
+                .extend(signal.iter().zip(&self.coeffs).map(|(&x, &w)| x * w));
+            plan.forward_into(&self.real, &mut self.packed, &mut self.buf)?;
         } else {
             // Non-power-of-two records fall back to the Bluestein path
             // (allocating; no campaign record length hits this).
@@ -235,7 +301,7 @@ impl SpectrumScratch {
                 .zip(&self.coeffs)
                 .map(|(&x, &w)| x * w)
                 .collect();
-            self.buf = fft::rfft(&windowed)?;
+            self.buf = crate::rfft::rfft_one_sided(&windowed)?;
         }
 
         let scale = 2.0 / (n as f64 * self.coherent_gain);
@@ -384,6 +450,57 @@ mod tests {
         for (a, b) in batched.iter().zip(&oneshot) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
+    }
+
+    #[test]
+    fn weighted_row_sum_matches_inline_loop_bitwise() {
+        // The kernel must reproduce the historical field-layer loop
+        // exactly: per row, w = k·scale, then sample-wise `acc += w·x`,
+        // rows in order.
+        let rows: Vec<Vec<f64>> = (0..7)
+            .map(|r| {
+                (0..64)
+                    .map(|i| ((r * 64 + i) as f64 * 0.13).sin())
+                    .collect()
+            })
+            .collect();
+        let weights: Vec<f64> = (0..7).map(|r| 1.0e-3 * (r as f64 + 0.5)).collect();
+        let scale = 3.0e-12;
+        let pairs: Vec<(&[f64], f64)> = rows
+            .iter()
+            .zip(&weights)
+            .map(|(r, &w)| (r.as_slice(), w))
+            .collect();
+        let mut kernel = vec![0.0; 64];
+        weighted_row_sum_into(&pairs, scale, &mut kernel).unwrap();
+        let mut inline = vec![0.0; 64];
+        for (row, k) in &pairs {
+            let w = k * scale;
+            for (f, &i) in inline.iter_mut().zip(row.iter()) {
+                *f += w * i;
+            }
+        }
+        for (a, b) in kernel.iter().zip(&inline) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Accumulates rather than overwrites (second pass doubles, up to
+        // rounding in the re-accumulation).
+        weighted_row_sum_into(&pairs, scale, &mut kernel).unwrap();
+        for (a, b) in kernel.iter().zip(&inline) {
+            assert!((a - 2.0 * b).abs() <= 1e-12 * b.abs().max(1e-300));
+        }
+    }
+
+    #[test]
+    fn weighted_row_sum_validates_lengths() {
+        let r0 = [1.0, 2.0];
+        let r1 = [1.0, 2.0, 3.0];
+        let mut acc = [0.0; 2];
+        assert!(weighted_row_sum_into(&[(&r0, 1.0), (&r1, 1.0)], 1.0, &mut acc).is_err());
+        // Error-before-touch: a bad batch leaves the accumulator alone.
+        assert_eq!(acc, [0.0; 2]);
+        assert!(weighted_row_sum_into(&[], 1.0, &mut acc).is_ok());
+        assert_eq!(acc, [0.0; 2]);
     }
 
     #[test]

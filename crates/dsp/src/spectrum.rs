@@ -9,6 +9,7 @@
 use crate::complex::Complex;
 use crate::error::DspError;
 use crate::fft;
+use crate::rfft;
 use crate::window::Window;
 
 /// Floor used when converting near-zero powers to dB so that silent traces
@@ -66,6 +67,12 @@ pub fn amplitude_spectrum(signal: &[f64], window: Window) -> Vec<f64> {
 
 /// Fallible variant of [`amplitude_spectrum`].
 ///
+/// Power-of-two lengths go through the packed real-input FFT
+/// ([`crate::rfft`], about half the butterfly work of the complex
+/// transform); other lengths fall back to the Bluestein path. The
+/// batched [`crate::batch::SpectrumScratch`] runs the identical
+/// transform, so batched and one-shot spectra stay bit-identical.
+///
 /// # Errors
 ///
 /// Returns [`DspError::EmptyInput`] when `signal` is empty.
@@ -75,7 +82,7 @@ pub fn try_amplitude_spectrum(signal: &[f64], window: Window) -> Result<Vec<f64>
     }
     let n = signal.len();
     let windowed = window.applied(signal);
-    let spec = fft::rfft(&windowed)?;
+    let spec = rfft::rfft_one_sided(&windowed)?;
     let cg = window.coherent_gain(n);
     let scale = 2.0 / (n as f64 * cg);
     let half = fft::one_sided_len(n);
@@ -118,7 +125,7 @@ pub fn periodogram(signal: &[f64], fs_hz: f64, window: Window) -> Result<Vec<f64
     }
     let n = signal.len();
     let windowed = window.applied(signal);
-    let spec = fft::rfft(&windowed)?;
+    let spec = rfft::rfft_one_sided(&windowed)?;
     let ng = window.noise_gain(n);
     let scale = 1.0 / (fs_hz * n as f64 * ng);
     let half = fft::one_sided_len(n);

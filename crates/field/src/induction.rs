@@ -100,15 +100,16 @@ pub fn induced_emf_into(
         }
     }
     // Superpose moments weighted by coupling first, then differentiate
-    // once (linearity).
+    // once (linearity). The coupling-row × waveform batch kernel keeps
+    // the historical accumulation order, so results stay bit-identical.
     flux_scratch.clear();
     flux_scratch.resize(n, 0.0);
-    for (wave, k) in sources {
-        let w = k * loop_area_m2;
-        for (f, &i) in flux_scratch.iter_mut().zip(wave.iter()) {
-            *f += w * i;
+    psa_dsp::batch::weighted_row_sum_into(sources, loop_area_m2, flux_scratch).map_err(|_| {
+        FieldError::DimensionMismatch {
+            expected: n,
+            got: 0,
         }
-    }
+    })?;
     derivative_into(flux_scratch, fs_hz, out);
     for vi in out.iter_mut() {
         *vi = -*vi;

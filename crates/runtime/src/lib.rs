@@ -12,8 +12,8 @@
 //!   fallback (no threads spawned at all), and `--jobs 0` is rejected
 //!   with a [`JobsArgError`](engine::JobsArgError) rather than being
 //!   silently coerced.
-//! * [`campaign`] — the acquisition-level [`Campaign`](campaign::Campaign)/
-//!   [`AcquireJob`](campaign::AcquireJob) abstraction: jobs are
+//! * [`campaign`] — the acquisition-level [`Campaign`]/
+//!   [`AcquireJob`] abstraction: jobs are
 //!   `(Scenario, SensorSelect, records, per-job seed)` fanned against
 //!   one shared [`TestChip`](psa_core::chip::TestChip), with one
 //!   reusable [`AcqContext`](psa_core::acquisition::AcqContext) per
