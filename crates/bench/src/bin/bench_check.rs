@@ -95,6 +95,9 @@ fn run() -> Result<bool, String> {
             format!("noise floor {min_seed_s} s")
         },
     );
+    if let Some(note) = workers_mismatch_note(seed.workers, current.workers) {
+        println!("{note}");
+    }
     let (report, pass) = if rates {
         if seed.rates.is_empty() {
             return Err(format!(
@@ -109,6 +112,20 @@ fn run() -> Result<bool, String> {
     };
     print!("{report}");
     Ok(pass)
+}
+
+/// A visible (non-fatal) note when the seed document was captured at a
+/// different worker count than the current run — the gates compare
+/// machine shapes, so a mismatch is the first thing to rule out when a
+/// ratio looks surprising.
+fn workers_mismatch_note(seed: Option<u64>, current: Option<u64>) -> Option<String> {
+    match (seed, current) {
+        (Some(s), Some(c)) if s != c => Some(format!(
+            "note: worker-count mismatch (seed captured at {s}, current run at {c}) — \
+             ratios compare different machine shapes"
+        )),
+        _ => None,
+    }
 }
 
 fn main() {
@@ -128,6 +145,16 @@ mod tests {
 
     fn args(v: &[&str]) -> Vec<String> {
         v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn notes_worker_count_mismatch_only() {
+        assert!(workers_mismatch_note(Some(4), Some(1))
+            .unwrap()
+            .contains("seed captured at 4, current run at 1"));
+        assert_eq!(workers_mismatch_note(Some(2), Some(2)), None);
+        assert_eq!(workers_mismatch_note(None, Some(2)), None);
+        assert_eq!(workers_mismatch_note(Some(2), None), None);
     }
 
     #[test]

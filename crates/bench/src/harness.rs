@@ -260,6 +260,15 @@ impl ThroughputTimer {
         out
     }
 
+    /// Records an externally measured interval under `name`: `records`
+    /// processed in `wall_s` seconds. Lets a binary express one measured
+    /// wall in several units (e.g. a fleet pass as both records/sec and
+    /// chips/sec); every entry counts toward [`total_s`](Self::total_s),
+    /// so re-recorded walls appear once per unit there.
+    pub fn record(&mut self, name: &str, wall_s: f64, records: u64) {
+        self.entries.push((name.to_string(), wall_s, records));
+    }
+
     /// Recorded `(stage, wall_seconds, records)` entries, in execution
     /// order.
     pub fn entries(&self) -> &[(String, f64, u64)] {
@@ -404,6 +413,24 @@ mod tests {
         // Wall times ride along, so the doc doubles as a timing artifact.
         assert_eq!(parsed.artifacts.len(), 2);
         assert_eq!(ThroughputTimer::rate(0.0, 100), 0.0);
+    }
+
+    #[test]
+    fn throughput_timer_records_external_walls() {
+        // `record` expresses one measured interval in several units —
+        // the fleet binary logs the same pass as records/sec and
+        // chips/sec — and the export carries the resolved worker count
+        // so seed files document the machine shape they came from.
+        let mut timer = ThroughputTimer::new();
+        timer.record("fleet_stream", 2.0, 1000);
+        timer.record("fleet_chips", 2.0, 100);
+        let json = timer.to_json(2);
+        let parsed = crate::regress::parse_bench_json(&json).expect("parses");
+        assert_eq!(parsed.workers, Some(2));
+        assert_eq!(parsed.rates.len(), 2);
+        assert!((parsed.rates[0].1 - 500.0).abs() < 1e-9);
+        assert!((parsed.rates[1].1 - 50.0).abs() < 1e-9);
+        assert!((timer.total_s() - 4.0).abs() < 1e-12);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!   is what makes parallel campaigns byte-identical to serial ones.
 
 use crate::calib;
-use crate::chip::{CustomSensor, SensorSelect, TestChip};
+use crate::chip::{ChipVariation, CustomSensor, SensorSelect, TestChip};
 use crate::error::CoreError;
 use crate::scenario::Scenario;
 use psa_analog::frontend::AnalogFrontEnd;
@@ -188,6 +188,10 @@ pub struct AcqContext<'c> {
     /// state (each entry is a pure function of the programming), so the
     /// cache affects performance only — the determinism contract holds.
     customs: Vec<CustomSensor>,
+    /// Per-die process variation applied to every acquisition, for
+    /// fleet experiments streaming many distinct dies through one
+    /// context. `None` (the default) is the exact unvaried chip.
+    variation: Option<ChipVariation>,
 }
 
 /// Synthesized custom programmings kept per context before the cache
@@ -218,7 +222,22 @@ impl<'c> AcqContext<'c> {
             concat: Vec::new(),
             traces: TraceSet::default(),
             customs: Vec::new(),
+            variation: None,
         }
+    }
+
+    /// Sets (or clears) the per-die process variation applied to every
+    /// subsequent acquisition. `None` — the default — is the unvaried
+    /// chip; a [`ChipVariation::nominal`] value (all factors exactly
+    /// `1.0`) acquires bit-identically to `None`. Fleet runs call this
+    /// per stream so one recycled context serves many distinct dies.
+    pub fn set_variation(&mut self, variation: Option<ChipVariation>) {
+        self.variation = variation;
+    }
+
+    /// The per-die process variation currently applied.
+    pub fn variation(&self) -> Option<&ChipVariation> {
+        self.variation.as_ref()
     }
 
     /// Synthesized custom programmings currently cached (for tests and
@@ -359,6 +378,14 @@ impl<'c> AcqContext<'c> {
             }
         }
         let frontend = frontend_for(sensor, scenario.seed ^ 0xFE);
+        // Die-level process variation: scale the coupled signal and the
+        // thermal-noise floor. `1.0 × x` is bit-exact for finite x, so
+        // the unvaried path stays byte-identical.
+        let (signal_scale, noise_scale) = match &self.variation {
+            Some(v) => (v.signal_scale(&sensor), v.noise_scale()),
+            None => (1.0, 1.0),
+        };
+        let noise_vrms = noise_vrms * noise_scale;
 
         let mut sim = ActivitySimulator::new(scenario.chip_config());
         if scenario.warmup_cycles > 0 {
@@ -386,7 +413,7 @@ impl<'c> AcqContext<'c> {
                 .currents
                 .iter()
                 .zip(couplings)
-                .map(|((_, wave), &k)| (wave.as_slice(), k))
+                .map(|((_, wave), &k)| (wave.as_slice(), k * signal_scale))
                 .collect();
             if let Some(e) = emitter {
                 // The emitter is pure in the absolute cycle, so records
@@ -403,7 +430,7 @@ impl<'c> AcqContext<'c> {
                     calib::CLK_HZ,
                     &mut self.extra_current,
                 );
-                pairs.push((self.extra_current.as_slice(), e.coupling));
+                pairs.push((self.extra_current.as_slice(), e.coupling * signal_scale));
             }
             induced_emf_into(
                 &pairs,
@@ -950,6 +977,40 @@ mod tests {
                 .zip(&spec_fresh)
                 .all(|(a, b)| a.to_bits() == b.to_bits()));
         }
+    }
+
+    #[test]
+    fn nominal_variation_acquires_bit_identically() {
+        // The fleet determinism anchor: `None` and an all-1.0 nominal
+        // variation must produce byte-identical records, so un-varied
+        // callers pay nothing for the fleet hook.
+        let acq = Acquisition::new(chip());
+        let mut ctx = acq.context();
+        let scenario = Scenario::trojan_active(TrojanKind::T1).with_seed(41);
+        let plain = ctx.acquire(&scenario, SensorSelect::Psa(10), 2).unwrap();
+        ctx.set_variation(Some(ChipVariation::nominal()));
+        let nominal = ctx.acquire(&scenario, SensorSelect::Psa(10), 2).unwrap();
+        assert_eq!(plain, nominal);
+        ctx.set_variation(None);
+        assert!(ctx.variation().is_none());
+    }
+
+    #[test]
+    fn distinct_variations_yield_distinct_records() {
+        // Two dies drawn from different seeds must not share traces —
+        // the whole point of fleet-scale process variation — while the
+        // same die re-acquired reproduces itself exactly.
+        let acq = Acquisition::new(chip());
+        let mut ctx = acq.context();
+        let scenario = Scenario::baseline().with_seed(17);
+        ctx.set_variation(Some(ChipVariation::new(1)));
+        let die_a = ctx.acquire(&scenario, SensorSelect::Psa(10), 1).unwrap();
+        ctx.set_variation(Some(ChipVariation::new(2)));
+        let die_b = ctx.acquire(&scenario, SensorSelect::Psa(10), 1).unwrap();
+        assert_ne!(die_a.records, die_b.records);
+        ctx.set_variation(Some(ChipVariation::new(1)));
+        let die_a2 = ctx.acquire(&scenario, SensorSelect::Psa(10), 1).unwrap();
+        assert_eq!(die_a, die_a2);
     }
 
     #[test]

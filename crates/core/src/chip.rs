@@ -334,6 +334,104 @@ impl TestChip {
     }
 }
 
+/// Seeded per-chip process variation, for fleet-scale experiments where
+/// no two dies may share a baseline.
+///
+/// Real deployed parts differ die-to-die: metal thickness shifts the
+/// sensor coupling, front-end gain spreads with transistor matching,
+/// and thermal noise tracks local resistance. `ChipVariation` models
+/// that as three seeded multiplicative factors — a per-PSA-sensor
+/// coupling factor, a chip-wide gain factor applied to signal and noise
+/// alike, and a noise-only factor — all drawn uniformly inside fixed
+/// spreads from one [`SmallRng`](psa_dsp::rng::SmallRng) stream. The
+/// same seed always reproduces the same die; [`nominal`](Self::nominal)
+/// is the exact identity (every factor `1.0`).
+///
+/// Applied by
+/// [`AcqContext::set_variation`](crate::acquisition::AcqContext::set_variation):
+/// acquisition with `None` (or a nominal variation) stays bit-identical
+/// to the unvaried path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipVariation {
+    seed: u64,
+    coupling: Vec<f64>,
+    gain: f64,
+    noise: f64,
+}
+
+impl ChipVariation {
+    /// Relative half-spread of the per-sensor coupling factors (±6 %).
+    pub const COUPLING_SPREAD: f64 = 0.06;
+    /// Relative half-spread of the chip-wide gain factor (±4 %).
+    pub const GAIN_SPREAD: f64 = 0.04;
+    /// Relative half-spread of the noise-only factor (±15 %).
+    pub const NOISE_SPREAD: f64 = 0.15;
+    /// Sensors a variation carries coupling factors for — the 16-sensor
+    /// preset bank.
+    pub const SENSORS: usize = 16;
+
+    /// Draws one die's variation from `seed` (deterministic: the same
+    /// seed always yields the same factors).
+    pub fn new(seed: u64) -> Self {
+        let mut rng = psa_dsp::rng::SmallRng::seed_from_u64(seed);
+        let mut draw = |spread: f64| 1.0 + spread * (2.0 * rng.gen_f64() - 1.0);
+        let coupling = (0..Self::SENSORS)
+            .map(|_| draw(Self::COUPLING_SPREAD))
+            .collect();
+        let gain = draw(Self::GAIN_SPREAD);
+        let noise = draw(Self::NOISE_SPREAD);
+        ChipVariation {
+            seed,
+            coupling,
+            gain,
+            noise,
+        }
+    }
+
+    /// The exact identity: every factor `1.0`, so acquisition through a
+    /// nominal variation is bit-identical to no variation at all.
+    pub fn nominal() -> Self {
+        ChipVariation {
+            seed: 0,
+            coupling: vec![1.0; Self::SENSORS],
+            gain: 1.0,
+            noise: 1.0,
+        }
+    }
+
+    /// The seed this die was drawn from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The chip-wide gain factor.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// The per-PSA-sensor coupling factors, in sensor order.
+    pub fn coupling_factors(&self) -> &[f64] {
+        &self.coupling
+    }
+
+    /// Multiplier on the coupled signal for `select`: gain × the
+    /// sensor's coupling factor (PSA sensors only — custom programmings
+    /// and external probes see gain alone).
+    pub fn signal_scale(&self, select: &SensorSelect) -> f64 {
+        let k = match select {
+            SensorSelect::Psa(i) => self.coupling.get(*i).copied().unwrap_or(1.0),
+            _ => 1.0,
+        };
+        self.gain * k
+    }
+
+    /// Multiplier on the front-end thermal-noise floor: gain × the
+    /// noise-only factor.
+    pub fn noise_scale(&self) -> f64 {
+        self.gain * self.noise
+    }
+}
+
 /// Maps an activity source to its floorplan module.
 pub fn module_for_source(source: Source) -> ModuleKind {
     match source {
@@ -473,5 +571,47 @@ mod tests {
             let _ = module_for_source(s); // must not panic
         }
         assert_eq!(module_for_source(Source::TrojanT2), ModuleKind::TrojanT2);
+    }
+
+    #[test]
+    fn variation_is_deterministic_per_seed() {
+        let a = ChipVariation::new(0xD1E5);
+        let b = ChipVariation::new(0xD1E5);
+        assert_eq!(a, b);
+        let c = ChipVariation::new(0xD1E6);
+        assert_ne!(a, c);
+        assert_eq!(a.seed(), 0xD1E5);
+    }
+
+    #[test]
+    fn variation_factors_stay_inside_spreads() {
+        for seed in 0..64u64 {
+            let v = ChipVariation::new(seed);
+            assert_eq!(v.coupling_factors().len(), ChipVariation::SENSORS);
+            for &k in v.coupling_factors() {
+                assert!((k - 1.0).abs() <= ChipVariation::COUPLING_SPREAD, "{k}");
+            }
+            assert!((v.gain() - 1.0).abs() <= ChipVariation::GAIN_SPREAD);
+            assert!(v.noise_scale() > 0.0);
+        }
+    }
+
+    #[test]
+    fn nominal_variation_is_exact_identity() {
+        let v = ChipVariation::nominal();
+        assert_eq!(v.signal_scale(&SensorSelect::Psa(10)), 1.0);
+        assert_eq!(v.signal_scale(&SensorSelect::SingleCoil), 1.0);
+        assert_eq!(v.noise_scale(), 1.0);
+    }
+
+    #[test]
+    fn signal_scale_combines_gain_and_sensor_factor() {
+        let v = ChipVariation::new(7);
+        let s10 = v.signal_scale(&SensorSelect::Psa(10));
+        assert_eq!(s10, v.gain() * v.coupling_factors()[10]);
+        // Non-PSA selections see the chip-wide gain alone.
+        assert_eq!(v.signal_scale(&SensorSelect::LangerLf1), v.gain());
+        // Out-of-range PSA index degrades to gain alone, not a panic.
+        assert_eq!(v.signal_scale(&SensorSelect::Psa(99)), v.gain());
     }
 }

@@ -348,6 +348,53 @@ mod tests {
     }
 
     #[test]
+    fn incremental_long_session_with_drift_ramps_stays_within_resync_bound() {
+        // A fleet-scale session: ≥10k records through one ring, under
+        // the drift shapes a thermally settling front end produces — a
+        // slow gain ramp plus a wandering tone on one bin. The
+        // incremental accumulator's float drift against an exact ring
+        // fed the same rows must stay within the resync bound for the
+        // whole session, not just the short runs the other tests cover.
+        let depth = 5;
+        let bins = 128;
+        let mut inc =
+            SlidingSpectrum::new(depth, SlidingMode::Incremental { resync_every: 256 }).unwrap();
+        let mut exact = SlidingSpectrum::new(depth, SlidingMode::Exact).unwrap();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        let mut max_drift: f64 = 0.0;
+        let ticks = 10_240u64;
+        for t in 0..ticks {
+            let ramp = 1.0 + 2.0e-4 * t as f64;
+            let tone = (t as f64 * 1e-3).sin().mul_add(0.5, 1.0);
+            let row: Vec<f64> = noise(bins, t)
+                .iter()
+                .enumerate()
+                .map(|(k, x)| ramp * (x.abs() + 1e-3) + if k == 17 { tone } else { 0.0 })
+                .collect();
+            inc.push_row(&row).unwrap();
+            exact.push_row(&row).unwrap();
+            inc.averaged_db_into(&mut a).unwrap();
+            exact.averaged_db_into(&mut b).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                max_drift = max_drift.max((x - y).abs());
+            }
+        }
+        // Far below any detection threshold (~10 dB) for the whole run.
+        assert!(
+            max_drift < 1e-6,
+            "max drift {max_drift} dB over {ticks} ticks"
+        );
+        // A forced resync restores bitwise equality with the exact ring:
+        // both then sum the same rows oldest→newest.
+        inc.resync();
+        inc.averaged_db_into(&mut a).unwrap();
+        exact.averaged_db_into(&mut b).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
     fn resync_every_one_is_always_exact() {
         let mut sliding =
             SlidingSpectrum::new(3, SlidingMode::Incremental { resync_every: 1 }).unwrap();

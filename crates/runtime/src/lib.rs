@@ -26,6 +26,11 @@
 //! * [`atlas`] — localization-accuracy atlas campaigns: synthetic-
 //!   Trojan placements × VDD/temp corners × seeds fanned across
 //!   workers, with per-corner baselines learned in parallel first.
+//! * [`fleet`] — fleet-scale streaming monitoring: 10k+ seeded per-die
+//!   chip streams ([`psa_core::chip::ChipVariation`]) multiplexed
+//!   through shared per-worker contexts in fixed round-robin order,
+//!   with sharded per-chip baselines, decimated per-chip sliding rings
+//!   (memory O(chips × window)), and a cross-fleet [`FleetReport`].
 //! * [`progsearch`] — SNR-driven programming-search campaigns: a
 //!   deterministic beam search over custom switch-matrix programmings
 //!   ([`SensorSelect::Custom`](psa_core::chip::SensorSelect)), every
@@ -55,11 +60,13 @@
 pub mod atlas;
 pub mod campaign;
 pub mod engine;
+pub mod fleet;
 pub mod monitor;
 pub mod progsearch;
 
 pub use atlas::{AtlasCampaign, AtlasCorner, AtlasJob, AtlasOutcome};
 pub use campaign::{AcquireJob, Campaign};
 pub use engine::Engine;
+pub use fleet::{ChipOutcome, Fleet, FleetBaselines, FleetConfig, FleetReport};
 pub use monitor::{MonitorCampaign, MonitorJob, MonitorOutcome, MonitorSummary};
 pub use progsearch::{ProgramSearch, RoundSummary, SearchReport};
