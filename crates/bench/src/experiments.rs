@@ -273,13 +273,10 @@ pub fn table1_campaign_with(
         summaries.push(MethodSummary {
             name: det.name().to_string(),
             detection_rate: hits as f64 / trials as f64,
-            localization: det.can_localize(),
+            localization: det.capabilities().localizes,
             measurements: *measurements,
             snr_db: *snr_db,
-            runtime: matches!(
-                det.name(),
-                n if n.contains("PSA") || n.contains("single")
-            ),
+            runtime: det.capabilities().runtime,
         });
     }
     summaries

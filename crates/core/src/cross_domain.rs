@@ -117,6 +117,12 @@ pub struct Verdict {
     pub identification_distance: Option<f64>,
     /// Traces consumed by the detection stage (per sensor).
     pub traces_per_sensor: usize,
+    /// The continuous decision statistic behind `detected`: the largest
+    /// per-bin excess of any sensor's spectrum over its baseline
+    /// local-max envelope, in dB — computed *before* thresholding, so
+    /// it is meaningful on quiet runs too (where it sits below the
+    /// configured threshold).
+    pub peak_excess_db: f64,
 }
 
 /// Configuration of the cross-domain analyzer.
@@ -267,6 +273,7 @@ impl<'a> CrossDomainAnalyzer<'a> {
         let mut ranking = Vec::with_capacity(self.chip.sensor_bank().len());
         let mut spectra = Vec::with_capacity(self.chip.sensor_bank().len());
         let mut base_envs = Vec::with_capacity(self.chip.sensor_bank().len());
+        let mut peak_excess_db = f64::NEG_INFINITY;
         let mut traces = TraceSet::default();
         for i in 0..self.chip.sensor_bank().len() {
             ctx.acquire_into(
@@ -283,6 +290,12 @@ impl<'a> CrossDomainAnalyzer<'a> {
                     what: "baseline missing a sensor",
                 })?;
             let base_env = local_max_envelope(base, 8);
+            let sensor_peak = spec
+                .iter()
+                .zip(&base_env)
+                .map(|(s, b)| s - b)
+                .fold(f64::NEG_INFINITY, f64::max);
+            peak_excess_db = peak_excess_db.max(sensor_peak);
             let hits = peak::excess_over_baseline_db(&spec, &base_env, self.config.threshold_db);
             let merged = merge_adjacent_bins(&hits);
             let energy: f64 = merged.iter().map(|(_, e)| e).sum();
@@ -314,6 +327,7 @@ impl<'a> CrossDomainAnalyzer<'a> {
                 identified: None,
                 identification_distance: None,
                 traces_per_sensor: self.config.traces_per_sensor,
+                peak_excess_db,
             });
         }
 
@@ -388,6 +402,7 @@ impl<'a> CrossDomainAnalyzer<'a> {
             identified: Some(identified),
             identification_distance: Some(dist),
             traces_per_sensor: self.config.traces_per_sensor,
+            peak_excess_db,
         })
     }
 

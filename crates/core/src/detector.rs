@@ -1,6 +1,19 @@
-//! Detector implementations compared in Table I.
+//! Pluggable Trojan detectors: continuous decision statistics behind a
+//! common scored API.
 //!
-//! A common [`Detector`] trait with four implementations:
+//! Every backend implements [`ScoredDetector`]: it exposes the *raw*
+//! decision statistic ([`score_with`](ScoredDetector::score_with),
+//! higher = more Trojan-like), its default decision threshold, and a
+//! [`Capabilities`] descriptor. The yes/no surface ([`Detector`] with
+//! [`detect`](Detector::detect)/[`detect_with`](Detector::detect_with))
+//! is a thin adapter: score once, then apply the shared strict
+//! `score > threshold` rule ([`ScoredDetector::decide`]). Keeping the
+//! statistic continuous is what lets the bake-off campaign
+//! (`psa_runtime::bakeoff`) sweep the threshold over the observed score
+//! distribution and emit full ROC/AUC curves instead of the single
+//! operating point Table I reports.
+//!
+//! Backends compared in Table I:
 //!
 //! * [`CrossDomainDetector`] — the paper's PSA pipeline (this work);
 //! * [`EuclideanDetector`] — the statistical trace-distance approach of
@@ -11,6 +24,24 @@
 //! * [`BackscatterDetector`] — Nguyen et al. (HOST'20): cluster
 //!   injected-carrier spectra with PCA + K-means and call a detection
 //!   when the clusters separate.
+//!
+//! Reference-free backends (no Trojan-dormant acquisition at all) from
+//! the golden-model-free literature live in [`reference_free`].
+//!
+//! # Trait contract
+//!
+//! * **Determinism** — scores are pure functions of the scenario (seed
+//!   included), never of context history; the parallel campaign
+//!   equivalence guarantee relies on it.
+//! * **Orientation** — higher scores mean "more Trojan-like". A
+//!   backend whose natural statistic points the other way must negate
+//!   it before returning.
+//! * **Decision rule** — [`decide`](ScoredDetector::decide) is the
+//!   strict comparison `score > threshold` for every backend; do not
+//!   override it, or threshold sweeps stop corresponding to the
+//!   backend's own verdicts.
+
+pub mod reference_free;
 
 use crate::acquisition::{AcqContext, TraceSet};
 use crate::chip::{SensorSelect, TestChip};
@@ -18,6 +49,7 @@ use crate::cross_domain::{AnalyzerConfig, Baseline, CrossDomainAnalyzer};
 use crate::error::CoreError;
 use crate::identify::TemplateLibrary;
 use crate::scenario::Scenario;
+use psa_dsp::peak::local_max_envelope;
 use psa_dsp::spectrum;
 use psa_gatesim::trojan::TrojanKind;
 use psa_ml::distance::euclidean;
@@ -26,11 +58,52 @@ use psa_ml::metrics::silhouette_score;
 use psa_ml::pca::Pca;
 use std::sync::OnceLock;
 
+pub use reference_free::{
+    CrossScalePersistenceDetector, PersistenceConfig, SpectralKurtosisDetector,
+    SpectralOutlierConfig, SpectralOutlierDetector,
+};
+
+/// What a detection method can report beyond its yes/no verdict —
+/// the structured replacement for the old `can_localize()` bool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Reports *where* the Trojan is (fills
+    /// [`DetectionOutcome::localized_sensor`]).
+    pub localizes: bool,
+    /// Reports *which* Trojan is active (fills
+    /// [`DetectionOutcome::identified`]).
+    pub identifies: bool,
+    /// Feasible as an always-on run-time monitor (on-chip sensing, few
+    /// traces) rather than a lab-bench flow.
+    pub runtime: bool,
+    /// Needs no Trojan-dormant reference acquisition: the statistic is
+    /// computed from the test measurement alone.
+    pub reference_free: bool,
+}
+
+impl Capabilities {
+    /// A method that only produces a yes/no verdict from a reference
+    /// comparison (no localization, identification, run-time use, or
+    /// reference freedom).
+    pub const DETECT_ONLY: Capabilities = Capabilities {
+        localizes: false,
+        identifies: false,
+        runtime: false,
+        reference_free: false,
+    };
+}
+
 /// Outcome of one detection attempt.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DetectionOutcome {
-    /// Whether the detector called a Trojan present.
+    /// Whether the detector called a Trojan present
+    /// (`decide(score, threshold)`).
     pub detected: bool,
+    /// The continuous decision statistic the verdict was derived from
+    /// (higher = more Trojan-like), in the backend's own units.
+    pub score: f64,
+    /// The threshold applied to `score`.
+    pub threshold: f64,
     /// Total traces consumed (the Table I "Measurement #" row).
     pub traces_used: usize,
     /// Localized sensor index, when the method can localize.
@@ -39,20 +112,64 @@ pub struct DetectionOutcome {
     pub identified: Option<TrojanKind>,
 }
 
-/// A Trojan detector operating on the simulated chip.
+/// A Trojan detection *statistic* operating on the simulated chip.
 ///
 /// Detectors are `Send + Sync` (plain configuration plus learned
 /// baselines) so the campaign engine can share one instance across its
 /// worker threads; each worker passes its own [`AcqContext`] to
-/// [`detect_with`](Self::detect_with).
-pub trait Detector: Send + Sync {
+/// [`score_with`](Self::score_with).
+pub trait ScoredDetector: Send + Sync {
     /// Human-readable method name (Table I column header).
     fn name(&self) -> &'static str;
 
-    /// Whether the method can report *where* the Trojan is.
-    fn can_localize(&self) -> bool;
+    /// What the method can report beyond the verdict.
+    fn capabilities(&self) -> Capabilities;
 
+    /// The default decision threshold [`Detector::detect`]/
+    /// [`Detector::detect_with`] apply, in the same units as the score.
+    /// Backends surface it from their public config structs so callers
+    /// can sweep it.
+    fn threshold(&self) -> f64;
+
+    /// Traces one [`score_with`](Self::score_with) call consumes (the
+    /// Table I "Measurement #" row).
+    fn traces_per_score(&self) -> usize;
+
+    /// Computes the continuous decision statistic for `scenario` on a
+    /// reusable per-worker context. Must be deterministic in `scenario`
+    /// alone (never in context history) — the parallel campaign
+    /// equivalence guarantee relies on it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates acquisition/analysis errors ([`CoreError`]).
+    fn score_with(&self, ctx: &mut AcqContext<'_>, scenario: &Scenario) -> Result<f64, CoreError>;
+
+    /// The shared decision rule: a Trojan is called iff
+    /// `score > threshold` (strict). Do **not** override — the bake-off
+    /// threshold sweep and every `detect` adapter assume this exact
+    /// comparison.
+    fn decide(&self, score: f64, threshold: f64) -> bool {
+        score > threshold
+    }
+}
+
+/// The yes/no detection surface: thin adapters over
+/// [`ScoredDetector`]'s continuous statistic.
+///
+/// Implemented as `impl Detector for X {}` once `X: ScoredDetector`;
+/// backends with extra per-detection outputs (localization,
+/// identification) override [`detect_with`](Self::detect_with) while
+/// keeping `detected == decide(score, threshold())`.
+pub trait Detector: ScoredDetector {
     /// Runs one detection attempt against `scenario`.
+    ///
+    /// **Contract:** this convenience allocates a fresh [`AcqContext`]
+    /// (record/FFT scratch buffers) on *every call*. It is intended for
+    /// one-shot use; any caller scoring in a loop or campaign must hold
+    /// one context per worker and call
+    /// [`detect_with`](Self::detect_with) instead — the engine's
+    /// `Campaign::run` does exactly that.
     ///
     /// # Errors
     ///
@@ -61,10 +178,8 @@ pub trait Detector: Send + Sync {
         self.detect_with(&mut AcqContext::new(chip), scenario)
     }
 
-    /// Runs one detection attempt on a reusable per-worker context.
-    /// Must be deterministic in `scenario` alone (never in context
-    /// history) — the parallel campaign equivalence guarantee relies on
-    /// it.
+    /// Runs one detection attempt on a reusable per-worker context:
+    /// score once, decide at the default threshold.
     ///
     /// # Errors
     ///
@@ -73,13 +188,25 @@ pub trait Detector: Send + Sync {
         &self,
         ctx: &mut AcqContext<'_>,
         scenario: &Scenario,
-    ) -> Result<DetectionOutcome, CoreError>;
+    ) -> Result<DetectionOutcome, CoreError> {
+        let threshold = self.threshold();
+        let score = self.score_with(ctx, scenario)?;
+        Ok(DetectionOutcome {
+            detected: self.decide(score, threshold),
+            score,
+            threshold,
+            traces_used: self.traces_per_score(),
+            localized_sensor: None,
+            identified: None,
+        })
+    }
 }
 
 /// The paper's cross-domain PSA detector.
 #[derive(Debug)]
 pub struct CrossDomainDetector {
     baseline: Baseline,
+    config: AnalyzerConfig,
     /// The identification template library, built once on first
     /// detection and shared across workers thereafter — like the
     /// baseline, it is chip-specific, so a detector (whose baseline
@@ -92,7 +219,6 @@ impl CrossDomainDetector {
     /// path — the identification library is built lazily on first
     /// detection and cached).
     pub fn new(chip: &TestChip, baseline_seed: u64) -> Self {
-        use crate::cross_domain::AnalyzerConfig;
         Self::with_baseline(Baseline::learn_with(
             chip,
             &AnalyzerConfig::default(),
@@ -106,6 +232,7 @@ impl CrossDomainDetector {
     pub fn with_baseline(baseline: Baseline) -> Self {
         CrossDomainDetector {
             baseline,
+            config: AnalyzerConfig::default(),
             templates: OnceLock::new(),
         }
     }
@@ -120,25 +247,94 @@ impl CrossDomainDetector {
         let _ = slot.set(templates);
         CrossDomainDetector {
             baseline,
+            config: AnalyzerConfig::default(),
             templates: slot,
         }
+    }
+
+    /// Overrides the analyzer configuration (trace budget, emergent
+    /// threshold).
+    pub fn with_config(mut self, config: AnalyzerConfig) -> Self {
+        self.config = config;
+        self
     }
 
     /// Access to the learned baseline.
     pub fn baseline(&self) -> &Baseline {
         &self.baseline
     }
+
+    /// The analyzer configuration in use.
+    pub fn config(&self) -> &AnalyzerConfig {
+        &self.config
+    }
 }
 
-impl Detector for CrossDomainDetector {
+impl ScoredDetector for CrossDomainDetector {
     fn name(&self) -> &'static str {
         "PSA cross-domain (this work)"
     }
 
-    fn can_localize(&self) -> bool {
-        true
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            localizes: true,
+            identifies: true,
+            runtime: true,
+            reference_free: false,
+        }
     }
 
+    fn threshold(&self) -> f64 {
+        self.config.threshold_db
+    }
+
+    fn traces_per_score(&self) -> usize {
+        self.config.traces_per_sensor
+    }
+
+    /// The peak per-bin excess (dB) of any sensor's spectrum over its
+    /// baseline local-max envelope — the statistic the analyzer
+    /// thresholds at [`AnalyzerConfig::threshold_db`]. This is the
+    /// detection-only path: no localization ranking, no zero-span
+    /// identification, no template library, which makes it the cheap
+    /// per-cell unit of the bake-off.
+    fn score_with(&self, ctx: &mut AcqContext<'_>, scenario: &Scenario) -> Result<f64, CoreError> {
+        let mut traces = TraceSet::default();
+        let mut peak = f64::NEG_INFINITY;
+        for i in 0..ctx.chip().sensor_bank().len() {
+            ctx.acquire_into(
+                scenario,
+                SensorSelect::Psa(i),
+                self.config.traces_per_sensor,
+                &mut traces,
+            )?;
+            let spec = ctx.fullres_spectrum_db(&traces)?;
+            let base = self
+                .baseline
+                .per_sensor_db
+                .get(i)
+                .ok_or(CoreError::InvalidParameter {
+                    what: "baseline missing a sensor",
+                })?;
+            let base_env = local_max_envelope(base, 8);
+            peak = spec
+                .iter()
+                .zip(&base_env)
+                .map(|(s, b)| s - b)
+                .fold(peak, f64::max);
+        }
+        Ok(peak)
+    }
+}
+
+impl Detector for CrossDomainDetector {
+    /// The full pipeline: the analyzer's frequency-domain sweep plus
+    /// localization and zero-span identification. The verdict keeps the
+    /// analyzer's historical decision (≥ `min_components` emergent
+    /// components); its continuous statistic
+    /// ([`Verdict::peak_excess_db`](crate::cross_domain::Verdict)) is
+    /// bit-identical to [`score_with`](ScoredDetector::score_with) on
+    /// the same scenario.
     fn detect_with(
         &self,
         ctx: &mut AcqContext<'_>,
@@ -155,14 +351,13 @@ impl Detector for CrossDomainDetector {
                 self.templates.get_or_init(|| built)
             }
         };
-        let analyzer = CrossDomainAnalyzer::with_templates(
-            ctx.chip(),
-            AnalyzerConfig::default(),
-            templates.clone(),
-        );
+        let analyzer =
+            CrossDomainAnalyzer::with_templates(ctx.chip(), self.config.clone(), templates.clone());
         let verdict = analyzer.analyze_with(ctx, scenario, &self.baseline)?;
         Ok(DetectionOutcome {
             detected: verdict.detected,
+            score: verdict.peak_excess_db,
+            threshold: self.config.threshold_db,
             // Detection itself needs only the monitored sensor's traces
             // (< 10); the full verdict scans all sensors for
             // localization.
@@ -173,19 +368,42 @@ impl Detector for CrossDomainDetector {
     }
 }
 
+/// Configuration of the Euclidean-distance statistical baseline, with
+/// the decision threshold lifted out of the detector body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EuclideanConfig {
+    /// Traces per side (reference and test). The literature setups
+    /// spend 60+ per side — per-trace discriminability, not statistics,
+    /// is their binding constraint.
+    pub traces_per_side: usize,
+    /// Detection threshold in reference-spread multiples: detect when
+    /// the studentized distance shift exceeds `k_sigma`. Default `3.0`
+    /// (the classical 3-sigma rule).
+    pub k_sigma: f64,
+    /// Record length in clock cycles. The original setups captured
+    /// short oscilloscope records (coarse RBW) — a key reason they miss
+    /// small Trojans. Default
+    /// [`EuclideanDetector::BASELINE_RECORD_CYCLES`].
+    pub record_cycles: usize,
+}
+
+impl Default for EuclideanConfig {
+    fn default() -> Self {
+        EuclideanConfig {
+            traces_per_side: 60,
+            k_sigma: 3.0,
+            record_cycles: EuclideanDetector::BASELINE_RECORD_CYCLES,
+        }
+    }
+}
+
 /// The Euclidean-distance statistical baseline (He et al.).
 #[derive(Debug, Clone)]
 pub struct EuclideanDetector {
     /// The probe this instance models (external probe or single coil).
     pub sensor: SensorSelect,
-    /// Traces per side (reference and test).
-    pub traces_per_side: usize,
-    /// Detection threshold in reference-spread multiples.
-    pub k_sigma: f64,
-    /// Record length in clock cycles. The original setups captured
-    /// short oscilloscope records (coarse RBW) — a key reason they miss
-    /// small Trojans.
-    pub record_cycles: usize,
+    /// Trace budget and decision threshold.
+    pub config: EuclideanConfig,
 }
 
 impl EuclideanDetector {
@@ -195,26 +413,34 @@ impl EuclideanDetector {
 
     /// He TVLSI'17: external probe, many traces.
     pub fn external_probe(traces_per_side: usize) -> Self {
-        EuclideanDetector {
-            sensor: SensorSelect::LangerLf1,
-            traces_per_side,
-            k_sigma: 3.0,
-            record_cycles: Self::BASELINE_RECORD_CYCLES,
-        }
+        Self::with_config(
+            SensorSelect::LangerLf1,
+            EuclideanConfig {
+                traces_per_side,
+                ..EuclideanConfig::default()
+            },
+        )
     }
 
     /// He DAC'20: whole-die single coil, many traces.
     pub fn single_coil(traces_per_side: usize) -> Self {
-        EuclideanDetector {
-            sensor: SensorSelect::SingleCoil,
-            traces_per_side,
-            k_sigma: 3.0,
-            record_cycles: Self::BASELINE_RECORD_CYCLES,
-        }
+        Self::with_config(
+            SensorSelect::SingleCoil,
+            EuclideanConfig {
+                traces_per_side,
+                ..EuclideanConfig::default()
+            },
+        )
+    }
+
+    /// An instance on an arbitrary sensing selection with an explicit
+    /// configuration.
+    pub fn with_config(sensor: SensorSelect, config: EuclideanConfig) -> Self {
+        EuclideanDetector { sensor, config }
     }
 }
 
-impl Detector for EuclideanDetector {
+impl ScoredDetector for EuclideanDetector {
     fn name(&self) -> &'static str {
         match self.sensor {
             SensorSelect::LangerLf1 | SensorSelect::IcrHh100 => {
@@ -224,15 +450,31 @@ impl Detector for EuclideanDetector {
         }
     }
 
-    fn can_localize(&self) -> bool {
-        false
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            // On-chip selections can run in mission mode; the external
+            // probes are bench-only.
+            runtime: !matches!(
+                self.sensor,
+                SensorSelect::LangerLf1 | SensorSelect::IcrHh100
+            ),
+            ..Capabilities::DETECT_ONLY
+        }
     }
 
-    fn detect_with(
-        &self,
-        ctx: &mut AcqContext<'_>,
-        scenario: &Scenario,
-    ) -> Result<DetectionOutcome, CoreError> {
+    fn threshold(&self) -> f64 {
+        self.config.k_sigma
+    }
+
+    fn traces_per_score(&self) -> usize {
+        2 * self.config.traces_per_side
+    }
+
+    /// The studentized distance shift `(test_mu - ref_mu) / ref_sigma`:
+    /// how many reference spreads the test distribution's mean distance
+    /// sits above the reference's. `-∞` when the reference spread is
+    /// zero (no spread estimate — the historical "never detect" guard).
+    fn score_with(&self, ctx: &mut AcqContext<'_>, scenario: &Scenario) -> Result<f64, CoreError> {
         // Reference: same chip with Trojans dormant (their golden-model
         // assumption translated to our run-time setting).
         let reference = Scenario {
@@ -242,19 +484,19 @@ impl Detector for EuclideanDetector {
         }
         .with_seed(scenario.seed ^ 0xA5A5);
 
-        let mut ref_spectra = Vec::with_capacity(self.traces_per_side);
-        let mut test_spectra = Vec::with_capacity(self.traces_per_side);
+        let mut ref_spectra = Vec::with_capacity(self.config.traces_per_side);
+        let mut test_spectra = Vec::with_capacity(self.config.traces_per_side);
         // Spectra per single trace: the original methods "compare the
         // Euclidean distance between traces or explore the Euclidean
         // distance distributions" — per-trace distributions, which is why
         // they need so many traces at low SNR.
         let mut traces = TraceSet::default();
-        for i in 0..self.traces_per_side {
+        for i in 0..self.config.traces_per_side {
             ctx.acquire_len_into(
                 &reference.clone().with_seed(reference.seed + i as u64),
                 self.sensor,
                 1,
-                self.record_cycles,
+                self.config.record_cycles,
                 &mut traces,
             )?;
             ref_spectra.push(linear_spectrum(ctx, &traces)?);
@@ -262,7 +504,7 @@ impl Detector for EuclideanDetector {
                 &scenario.clone().with_seed(scenario.seed + i as u64),
                 self.sensor,
                 1,
-                self.record_cycles,
+                self.config.record_cycles,
                 &mut traces,
             )?;
             test_spectra.push(linear_spectrum(ctx, &traces)?);
@@ -284,20 +526,43 @@ impl Detector for EuclideanDetector {
         let ref_mu = psa_dsp::stats::mean(&ref_dists);
         let ref_sigma = psa_dsp::stats::std_dev(&ref_dists);
         let test_mu = psa_dsp::stats::mean(&test_dists);
-        let detected = ref_sigma > 0.0 && test_mu > ref_mu + self.k_sigma * ref_sigma;
-
-        Ok(DetectionOutcome {
-            detected,
-            traces_used: 2 * self.traces_per_side,
-            localized_sensor: None,
-            identified: None,
-        })
+        if ref_sigma > 0.0 {
+            Ok((test_mu - ref_mu) / ref_sigma)
+        } else {
+            Ok(f64::NEG_INFINITY)
+        }
     }
 }
+
+impl Detector for EuclideanDetector {}
 
 fn linear_spectrum(ctx: &mut AcqContext<'_>, traces: &TraceSet) -> Result<Vec<f64>, CoreError> {
     let db = ctx.spectrum_db(traces)?;
     Ok(db.into_iter().map(spectrum::db_to_amplitude).collect())
+}
+
+/// Configuration of the backscattering clustering baseline, with the
+/// decision threshold lifted out of the detector body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackscatterConfig {
+    /// Traces per side (the paper's method used ~100 total). Default
+    /// `50`.
+    pub traces_per_side: usize,
+    /// Carrier frequency, Hz (kept inside the 120 MHz band). Default
+    /// `100 MHz`.
+    pub carrier_hz: f64,
+    /// Silhouette threshold for calling a separation. Default `0.4`.
+    pub silhouette_threshold: f64,
+}
+
+impl Default for BackscatterConfig {
+    fn default() -> Self {
+        BackscatterConfig {
+            traces_per_side: 50,
+            carrier_hz: 100.0e6,
+            silhouette_threshold: 0.4,
+        }
+    }
 }
 
 /// The backscattering clustering baseline (Nguyen et al., HOST'20).
@@ -307,27 +572,18 @@ fn linear_spectrum(ctx: &mut AcqContext<'_>, traces: &TraceSet) -> Result<Vec<f6
 /// captured. Spectra of reference and test captures are projected with
 /// PCA and clustered with K-means; well-separated clusters mean a
 /// Trojan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct BackscatterDetector {
-    /// Traces per side (the paper's method used ~100 total).
-    pub traces_per_side: usize,
-    /// Carrier frequency, Hz (kept inside the 120 MHz band).
-    pub carrier_hz: f64,
-    /// Silhouette threshold for calling a separation.
-    pub silhouette_threshold: f64,
-}
-
-impl Default for BackscatterDetector {
-    fn default() -> Self {
-        BackscatterDetector {
-            traces_per_side: 50,
-            carrier_hz: 100.0e6,
-            silhouette_threshold: 0.4,
-        }
-    }
+    /// Trace budget, carrier, and decision threshold.
+    pub config: BackscatterConfig,
 }
 
 impl BackscatterDetector {
+    /// An instance with an explicit configuration.
+    pub fn with_config(config: BackscatterConfig) -> Self {
+        BackscatterDetector { config }
+    }
+
     /// Synthesizes one backscatter capture: the carrier AM-modulated by
     /// the chip's total switching activity (impedance modulation), plus
     /// measurement noise; returns its spectrum feature vector.
@@ -379,13 +635,13 @@ impl BackscatterDetector {
             for s in 0..spc {
                 let i = (c * spc + s) as f64;
                 let t = i / fs;
-                let carrier = (2.0 * std::f64::consts::PI * self.carrier_hz * t).cos();
+                let carrier = (2.0 * std::f64::consts::PI * self.config.carrier_hz * t).cos();
                 rx.push((1.0 + depth) * carrier * 1.0e-2 + noise.next());
             }
         }
         // Feature vector: amplitude spectrum around the carrier.
         let spec = scratch.amplitude_spectrum(&rx)?;
-        let bin = psa_dsp::fft::freq_bin(self.carrier_hz, rx.len(), fs);
+        let bin = psa_dsp::fft::freq_bin(self.config.carrier_hz, rx.len(), fs);
         let lo = bin.saturating_sub(64);
         let hi = (bin + 64).min(spec.len());
         let _ = chip; // geometry-independent: backscatter senses global impedance
@@ -393,20 +649,28 @@ impl BackscatterDetector {
     }
 }
 
-impl Detector for BackscatterDetector {
+impl ScoredDetector for BackscatterDetector {
     fn name(&self) -> &'static str {
         "backscattering + PCA/K-means (HOST'20)"
     }
 
-    fn can_localize(&self) -> bool {
-        false
+    fn capabilities(&self) -> Capabilities {
+        Capabilities::DETECT_ONLY
     }
 
-    fn detect_with(
-        &self,
-        ctx: &mut AcqContext<'_>,
-        scenario: &Scenario,
-    ) -> Result<DetectionOutcome, CoreError> {
+    fn threshold(&self) -> f64 {
+        self.config.silhouette_threshold
+    }
+
+    fn traces_per_score(&self) -> usize {
+        2 * self.config.traces_per_side
+    }
+
+    /// The silhouette score of the 2-means clustering when the clusters
+    /// actually split the reference/test halves; `-1.0` (the silhouette
+    /// floor) when they split along noise instead — a split-less
+    /// clustering carries no Trojan evidence at any threshold.
+    fn score_with(&self, ctx: &mut AcqContext<'_>, scenario: &Scenario) -> Result<f64, CoreError> {
         let chip = ctx.chip();
         let reference = Scenario {
             trojan: None,
@@ -414,8 +678,8 @@ impl Detector for BackscatterDetector {
             ..scenario.clone()
         };
         let mut scratch = psa_dsp::batch::SpectrumScratch::new(psa_dsp::window::Window::Hann);
-        let mut features = Vec::with_capacity(2 * self.traces_per_side);
-        for i in 0..self.traces_per_side {
+        let mut features = Vec::with_capacity(2 * self.config.traces_per_side);
+        for i in 0..self.config.traces_per_side {
             features.push(self.capture_features(
                 chip,
                 &reference,
@@ -423,7 +687,7 @@ impl Detector for BackscatterDetector {
                 &mut scratch,
             )?);
         }
-        for i in 0..self.traces_per_side {
+        for i in 0..self.config.traces_per_side {
             features.push(self.capture_features(
                 chip,
                 scenario,
@@ -435,20 +699,20 @@ impl Detector for BackscatterDetector {
         let projected = pca.transform(&features)?;
         let fit = KMeans::new(2).with_seed(scenario.seed).fit(&projected)?;
         let silhouette = silhouette_score(&projected, fit.assignments());
-        // Detection: clusters separate AND they actually split the
+        // Separation only counts when it actually splits the
         // reference/test halves rather than noise.
-        let half = self.traces_per_side;
+        let half = self.config.traces_per_side;
         let ref_majority = majority(&fit.assignments()[..half]);
         let test_majority = majority(&fit.assignments()[half..]);
-        let detected = silhouette > self.silhouette_threshold && ref_majority != test_majority;
-        Ok(DetectionOutcome {
-            detected,
-            traces_used: 2 * self.traces_per_side,
-            localized_sensor: None,
-            identified: None,
-        })
+        if ref_majority != test_majority {
+            Ok(silhouette)
+        } else {
+            Ok(-1.0)
+        }
     }
 }
+
+impl Detector for BackscatterDetector {}
 
 fn majority(assignments: &[usize]) -> usize {
     let ones = assignments.iter().filter(|&&a| a == 1).count();
@@ -469,16 +733,41 @@ mod tests {
     #[test]
     fn detector_metadata() {
         let e = EuclideanDetector::external_probe(10);
-        assert!(!e.can_localize());
+        assert!(!e.capabilities().localizes);
+        assert!(!e.capabilities().runtime);
         assert!(e.name().contains("external"));
         let s = EuclideanDetector::single_coil(10);
         assert!(s.name().contains("single"));
+        assert!(s.capabilities().runtime);
         let b = BackscatterDetector::default();
-        assert!(!b.can_localize());
+        assert!(!b.capabilities().localizes);
         assert!(b.name().contains("backscatter"));
     }
 
-    // End-to-end detector behaviour (detection rates, trace counts) is
-    // exercised by the workspace integration tests and the Table I
-    // regeneration binary.
+    #[test]
+    fn config_defaults_match_historical_thresholds() {
+        // The thresholds were hard-coded in the detector bodies before
+        // the scored redesign; the lifted configs must default to the
+        // same values or Table I changes.
+        assert_eq!(EuclideanConfig::default().k_sigma, 3.0);
+        assert_eq!(EuclideanConfig::default().record_cycles, 512);
+        assert_eq!(BackscatterConfig::default().silhouette_threshold, 0.4);
+        assert_eq!(BackscatterConfig::default().traces_per_side, 50);
+        assert_eq!(EuclideanDetector::external_probe(60).threshold(), 3.0);
+        assert_eq!(BackscatterDetector::default().threshold(), 0.4);
+    }
+
+    #[test]
+    fn decide_is_the_strict_comparison() {
+        let det = BackscatterDetector::default();
+        assert!(det.decide(0.5, 0.4));
+        assert!(!det.decide(0.4, 0.4), "ties are not detections");
+        assert!(!det.decide(0.3, 0.4));
+        assert!(!det.decide(f64::NEG_INFINITY, 0.4));
+        assert!(det.decide(0.5, f64::NEG_INFINITY), "always-alarm policy");
+    }
+
+    // End-to-end detector behaviour (detection rates, trace counts,
+    // old-vs-new decision equality) is exercised by the workspace
+    // integration tests and the Table I regeneration binary.
 }

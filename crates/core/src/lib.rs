@@ -22,10 +22,13 @@
 //!   to identify which Trojan is active.
 //! * [`identify`] — envelope feature extraction and the unsupervised /
 //!   nearest-template classification of Fig 5.
-//! * [`detector`] — a common [`detector::Detector`] trait plus the
-//!   baselines of Table I: Euclidean-distance statistics on external-probe
-//!   and single-coil traces (He TVLSI'17 / He DAC'20) and the
-//!   backscattering PCA+K-means detector (Nguyen HOST'20).
+//! * [`detector`] — the scored detection surface: a
+//!   [`detector::ScoredDetector`] trait (raw statistic + threshold +
+//!   one shared decision rule) with [`detector::Detector`] adapters on
+//!   top, the Table I baselines (Euclidean-distance statistics on
+//!   external-probe and single-coil traces, He TVLSI'17 / He DAC'20;
+//!   backscattering PCA+K-means, Nguyen HOST'20), and the
+//!   reference-free statistics of [`detector::reference_free`].
 //! * [`snr`] — the RMS-ratio SNR procedure of Eq. (1).
 //! * [`mttd`] — mean-time-to-detect simulation of the run-time loop,
 //!   now a thin batch adapter over the streaming monitor.

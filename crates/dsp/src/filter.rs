@@ -210,10 +210,60 @@ pub fn decimate(signal: &[f64], factor: usize) -> Result<Vec<f64>, DspError> {
     Ok(signal.iter().step_by(factor).copied().collect())
 }
 
+/// Sliding median of a series: each element replaced by the median over
+/// a ±`half_window` neighbourhood (truncated at the edges).
+///
+/// Applied to a dB spectrum this estimates the spectrum's own smooth
+/// floor — the reference-free analogue of a learned baseline: narrow
+/// spectral lines (clock harmonics, Trojan sidebands) stand out of the
+/// residual `x - sliding_median(x)` while broadband tilt cancels.
+///
+/// `half_window == 0` returns the input unchanged.
+pub fn sliding_median(x: &[f64], half_window: usize) -> Vec<f64> {
+    if half_window == 0 {
+        return x.to_vec();
+    }
+    let n = x.len();
+    let mut scratch: Vec<f64> = Vec::with_capacity(2 * half_window + 1);
+    (0..n)
+        .map(|k| {
+            let lo = k.saturating_sub(half_window);
+            let hi = (k + half_window + 1).min(n);
+            scratch.clear();
+            scratch.extend_from_slice(&x[lo..hi]);
+            crate::stats::median(&scratch)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::f64::consts::PI;
+
+    #[test]
+    fn sliding_median_flattens_isolated_spike() {
+        let mut x = vec![1.0; 32];
+        x[16] = 100.0;
+        let floor = sliding_median(&x, 4);
+        assert_eq!(floor[16], 1.0, "median ignores the single outlier");
+        assert_eq!(floor[0], 1.0);
+    }
+
+    #[test]
+    fn sliding_median_zero_window_is_identity() {
+        let x = vec![3.0, 1.0, 2.0];
+        assert_eq!(sliding_median(&x, 0), x);
+    }
+
+    #[test]
+    fn sliding_median_follows_trend() {
+        let x: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let floor = sliding_median(&x, 3);
+        // Interior medians track the ramp exactly.
+        assert_eq!(floor[10], 10.0);
+        assert_eq!(floor[50], 50.0);
+    }
 
     #[test]
     fn convolve_identity() {

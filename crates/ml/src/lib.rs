@@ -9,6 +9,9 @@
 //! * The cross-domain identification stage classifies zero-span envelopes
 //!   with nearest-template / **k-NN** matching ([`knn`]) and validates the
 //!   clustering with silhouette scores ([`metrics`]).
+//! * The detector bake-off sweeps every backend's decision threshold over
+//!   its score distribution into **ROC curves** with trapezoid **AUC**
+//!   ([`roc`]).
 //!
 //! Everything is implemented from scratch on plain `Vec<f64>` rows — the
 //! feature dimensionality here is tiny (tens), so clarity wins over BLAS.
@@ -39,6 +42,7 @@ pub mod knn;
 pub mod matrix;
 pub mod metrics;
 pub mod pca;
+pub mod roc;
 pub mod scaler;
 
 pub use psa_dsp::rng;

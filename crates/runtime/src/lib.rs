@@ -23,6 +23,10 @@
 //!   log) fanned across workers as single jobs, with submission-order
 //!   outcome collection and campaign-level MTTD / false-alarm /
 //!   localization summaries.
+//! * [`bakeoff`] — detector bake-off campaigns: scenario-suite ×
+//!   [`ScoredDetector`](psa_core::detector::ScoredDetector) × seed
+//!   score fan-outs, swept over decision thresholds into per-Trojan
+//!   ROC curves with trapezoid AUC.
 //! * [`atlas`] — localization-accuracy atlas campaigns: synthetic-
 //!   Trojan placements × VDD/temp corners × seeds fanned across
 //!   workers, with per-corner baselines learned in parallel first.
@@ -58,6 +62,7 @@
 #![warn(missing_docs)]
 
 pub mod atlas;
+pub mod bakeoff;
 pub mod campaign;
 pub mod engine;
 pub mod fleet;
@@ -65,6 +70,7 @@ pub mod monitor;
 pub mod progsearch;
 
 pub use atlas::{AtlasCampaign, AtlasCorner, AtlasJob, AtlasOutcome};
+pub use bakeoff::{Bakeoff, BakeoffCell, BakeoffConfig, BakeoffReport, RocSummary};
 pub use campaign::{AcquireJob, Campaign};
 pub use engine::Engine;
 pub use fleet::{ChipOutcome, Fleet, FleetBaselines, FleetConfig, FleetReport};

@@ -1,4 +1,5 @@
 //! Per-trojan outcomes for each baseline detector.
+use psa_repro::core::acquisition::AcqContext;
 use psa_repro::core::chip::TestChip;
 use psa_repro::core::detector::{BackscatterDetector, Detector, EuclideanDetector};
 use psa_repro::core::scenario::Scenario;
@@ -10,12 +11,15 @@ fn main() {
     let coil = EuclideanDetector::single_coil(60);
     let back = BackscatterDetector::default();
     let dets: [&dyn Detector; 3] = [&probe, &coil, &back];
+    // One shared context: `detect` would allocate fresh scratch buffers
+    // for every one of the 24 attempts; `detect_with` recycles them.
+    let mut ctx = AcqContext::new(&chip);
     for det in dets {
         print!("{}: ", det.name());
         for kind in TrojanKind::ALL {
             for seed in [7000u64, 7031] {
                 let out = det
-                    .detect(&chip, &Scenario::trojan_active(kind).with_seed(seed))
+                    .detect_with(&mut ctx, &Scenario::trojan_active(kind).with_seed(seed))
                     .unwrap();
                 print!("{kind}({}) ", if out.detected { "Y" } else { "n" });
             }

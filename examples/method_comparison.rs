@@ -10,6 +10,7 @@
 //! backscatter captures) against every Trojan and prints who detected
 //! what and at what trace cost.
 
+use psa_repro::core::acquisition::AcqContext;
 use psa_repro::core::chip::TestChip;
 use psa_repro::core::detector::{
     BackscatterDetector, CrossDomainDetector, Detector, EuclideanDetector,
@@ -27,12 +28,16 @@ fn main() {
     let backscatter = BackscatterDetector::default();
     let detectors: [&dyn Detector; 4] = [&cross, &probe, &coil, &backscatter];
 
+    // One shared context across all 16 attempts (per the Detector
+    // contract, `detect` is one-shot-only: it allocates fresh scratch
+    // on every call).
+    let mut ctx = AcqContext::new(&chip);
     println!();
     for det in detectors {
         println!("{}:", det.name());
         for kind in TrojanKind::ALL {
             let scenario = Scenario::trojan_active(kind).with_seed(1234);
-            let out = det.detect(&chip, &scenario).expect("detector runs");
+            let out = det.detect_with(&mut ctx, &scenario).expect("detector runs");
             let localized = out
                 .localized_sensor
                 .map(|s| format!("sensor {s}"))
