@@ -9,22 +9,26 @@
 //! (`--jobs 1` reproduces the historical serial runs exactly, and the
 //! workspace equivalence tests assert it).
 
-use psa_core::atlas::PlacementSweepConfig;
+use psa_core::atlas::{PlacementSweepConfig, SyntheticEmitter};
 use psa_core::chip::{SensorSelect, TestChip};
 use psa_core::cross_domain::CrossDomainAnalyzer;
 use psa_core::detector::{BackscatterDetector, CrossDomainDetector, Detector, EuclideanDetector};
 use psa_core::monitor::{ActivationSchedule, ScheduleChange, SlidingConfig};
 use psa_core::mttd::{mttd_trial_with, MonitorTiming};
+use psa_core::multiloc::MultiLocConfig;
 use psa_core::progsearch::{DetectionSnr, ProgramSearchConfig, SearchObjective};
 use psa_core::report::{db, mhz, pct, sparkline, yes_no, Table};
 use psa_core::scenario::Scenario;
 use psa_core::snr::measure_snr_with;
 use psa_core::{calib, identify};
+use psa_dsp::rng::splitmix64;
+use psa_gatesim::synth::SyntheticTrojan;
 use psa_gatesim::trojan::TrojanKind;
-use psa_layout::emitter::sweep_grid;
+use psa_layout::emitter::{sweep_grid, validate_separation};
 use psa_runtime::{
     AtlasCampaign, AtlasCorner, AtlasJob, AtlasOutcome, Campaign, Engine, MonitorCampaign,
-    MonitorJob, MonitorOutcome, MonitorSummary, ProgramSearch, SearchReport,
+    MonitorJob, MonitorOutcome, MonitorSummary, MultilocCampaign, MultilocJob, MultilocOutcome,
+    ProgramSearch, SearchReport,
 };
 
 /// Builds the shared chip once (expensive: placement + coupling
@@ -1114,6 +1118,280 @@ pub fn atlas_report(corners: &[AtlasCorner], outcomes: &[AtlasOutcome], grid: us
             corners[worst.corner].label,
             o.predicted_sensor.unwrap_or(usize::MAX),
             o.error_um.unwrap_or(f64::NAN),
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Joint localization — the `multi_localize` binary.
+// ---------------------------------------------------------------------
+
+/// Seed of the deterministic tuple generator: site draws and rejection
+/// share one splitmix64 stream, so the tuple list is a pure function of
+/// this constant and the CLI shape.
+pub const MULTILOC_TUPLE_SEED: u64 = 0x3017_0C42;
+
+/// Drive strengths cycled across a tuple's slots, equivalent cells —
+/// deliberately unequal so the per-source power estimates have
+/// something nontrivial to recover.
+pub const MULTILOC_DRIVES: [f64; 3] = [800.0, 1200.0, 500.0];
+
+/// Builds the joint-localization campaign (per-corner baselines and
+/// amplitude-to-drive calibrations learned on the engine) with the
+/// default localizer configuration over the atlas corner set.
+///
+/// # Panics
+///
+/// Never for the built-in chip and corner set.
+pub fn multiloc_campaign<'c>(
+    chip: &'c TestChip,
+    engine: &Engine,
+    seeds: usize,
+) -> MultilocCampaign<'c> {
+    MultilocCampaign::new(
+        chip,
+        *engine,
+        MultiLocConfig::default(),
+        atlas_corners(seeds),
+    )
+    .expect("joint-localization campaign builds on the built-in chip")
+}
+
+/// Deterministic K-emitter placement tuples: for each `k` in
+/// `1..=max_k`, draw `tuples_per_k` tuples of distinct sites from a
+/// `grid` × `grid` sweep of the die, rejecting draws that violate the
+/// localizer's minimum separation. Slot drives cycle
+/// [`MULTILOC_DRIVES`].
+///
+/// # Panics
+///
+/// When the site grid cannot host `max_k` separated emitters (a shape
+/// misconfiguration, not a data-dependent condition).
+pub fn multiloc_tuples(
+    chip: &TestChip,
+    config: &MultiLocConfig,
+    max_k: usize,
+    grid: usize,
+    tuples_per_k: usize,
+) -> Vec<Vec<SyntheticEmitter>> {
+    let sites = sweep_grid(
+        chip.floorplan().die(),
+        grid,
+        grid,
+        ATLAS_GRID_MARGIN_UM,
+        ATLAS_EMITTER_EXTENT_UM,
+    );
+    assert!(
+        max_k <= sites.len(),
+        "a {grid}x{grid} site grid cannot host {max_k} distinct emitters"
+    );
+    let mut state = MULTILOC_TUPLE_SEED;
+    let mut draw = |n: usize| {
+        state = splitmix64(state);
+        (state % n as u64) as usize
+    };
+    let mut tuples = Vec::with_capacity(max_k * tuples_per_k);
+    for k in 1..=max_k {
+        let mut made = 0;
+        let mut attempts = 0;
+        while made < tuples_per_k {
+            attempts += 1;
+            assert!(
+                attempts < 100_000,
+                "a {grid}x{grid} site grid cannot separate {k} emitters"
+            );
+            let mut picked: Vec<usize> = Vec::with_capacity(k);
+            while picked.len() < k {
+                let i = draw(sites.len());
+                if !picked.contains(&i) {
+                    picked.push(i);
+                }
+            }
+            let tuple_sites: Vec<_> = picked.iter().map(|&i| sites[i]).collect();
+            if validate_separation(&tuple_sites, config.min_separation_um).is_err() {
+                continue;
+            }
+            tuples.push(
+                tuple_sites
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, &site)| SyntheticEmitter {
+                        trojan: SyntheticTrojan::am_reference(
+                            MULTILOC_DRIVES[slot % MULTILOC_DRIVES.len()],
+                        ),
+                        ..SyntheticEmitter::reference_at(site)
+                    })
+                    .collect(),
+            );
+            made += 1;
+        }
+    }
+    tuples
+}
+
+/// Crosses the tuple list with every corner (corners outer, tuples
+/// inner — deterministic submission order for the campaign engine).
+pub fn multiloc_jobs(
+    tuples: &[Vec<SyntheticEmitter>],
+    corners: &[AtlasCorner],
+) -> Vec<MultilocJob> {
+    let mut jobs = Vec::with_capacity(tuples.len() * corners.len());
+    for corner in 0..corners.len() {
+        for tuple in tuples {
+            jobs.push(MultilocJob {
+                corner,
+                emitters: tuple.clone(),
+            });
+        }
+    }
+    jobs
+}
+
+/// Per-K accuracy statistics of a joint-localization run, pooled over
+/// corners.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultilocKStats {
+    /// True concurrent source count this row aggregates.
+    pub k: usize,
+    /// Tuples evaluated with this K.
+    pub tuples: usize,
+    /// Tuples whose recovered source count equals K exactly.
+    pub count_exact: usize,
+    /// Mean recovered source count.
+    pub mean_sources: f64,
+    /// Mean matched per-source localization error, µm.
+    pub mean_error_um: f64,
+    /// True sources left unmatched, as a fraction of all true sources.
+    pub miss_rate: f64,
+    /// Predicted sources left unmatched, per tuple.
+    pub false_alarms_per_tuple: f64,
+    /// Mean absolute drive-power error over matched pairs, dB.
+    pub mean_power_error_db: f64,
+}
+
+/// Aggregates per-K statistics over every corner (`k` ascending).
+pub fn multiloc_k_stats(outcomes: &[MultilocOutcome], max_k: usize) -> Vec<MultilocKStats> {
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    (1..=max_k)
+        .map(|k| {
+            let of_k: Vec<&MultilocOutcome> =
+                outcomes.iter().filter(|o| o.true_count == k).collect();
+            let counts: Vec<f64> = of_k
+                .iter()
+                .map(|o| o.outcome.sources.len() as f64)
+                .collect();
+            let errors: Vec<f64> = of_k
+                .iter()
+                .flat_map(|o| o.score.pairs.iter().map(|p| p.error_um))
+                .collect();
+            let powers: Vec<f64> = of_k
+                .iter()
+                .flat_map(|o| o.score.pairs.iter().filter_map(|p| p.power_error_db))
+                .map(f64::abs)
+                .collect();
+            let misses: usize = of_k.iter().map(|o| o.score.miss).sum();
+            let false_alarms: usize = of_k.iter().map(|o| o.score.false_alarm).sum();
+            MultilocKStats {
+                k,
+                tuples: of_k.len(),
+                count_exact: of_k.iter().filter(|o| o.outcome.sources.len() == k).count(),
+                mean_sources: mean(&counts),
+                mean_error_um: mean(&errors),
+                miss_rate: if of_k.is_empty() {
+                    0.0
+                } else {
+                    misses as f64 / (k * of_k.len()) as f64
+                },
+                false_alarms_per_tuple: if of_k.is_empty() {
+                    0.0
+                } else {
+                    false_alarms as f64 / of_k.len() as f64
+                },
+                mean_power_error_db: mean(&powers),
+            }
+        })
+        .collect()
+}
+
+/// Renders the deterministic joint-localization report the
+/// `multi_localize` binary prints: the per-K accuracy table, a
+/// per-corner summary, and the worst tuple — byte-identical at any
+/// worker count.
+pub fn multiloc_report(
+    corners: &[AtlasCorner],
+    outcomes: &[MultilocOutcome],
+    max_k: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "tuples {} ({} per corner x {} corner(s))\n",
+        outcomes.len(),
+        outcomes.len() / corners.len().max(1),
+        corners.len()
+    ));
+    out.push_str(
+        "  K  tuples  exact-count  mean-K  mean err (um)  miss rate  false alarms  |power err| (dB)\n",
+    );
+    for s in multiloc_k_stats(outcomes, max_k) {
+        out.push_str(&format!(
+            "  {}  {:>6}  {:>11}  {:>6.2}  {:>13.1}  {:>9.3}  {:>12.2}  {:>16.2}\n",
+            s.k,
+            s.tuples,
+            s.count_exact,
+            s.mean_sources,
+            s.mean_error_um,
+            s.miss_rate,
+            s.false_alarms_per_tuple,
+            s.mean_power_error_db,
+        ));
+    }
+    for (ci, corner) in corners.iter().enumerate() {
+        let of_corner: Vec<&MultilocOutcome> = outcomes.iter().filter(|o| o.corner == ci).collect();
+        let detected = of_corner.iter().filter(|o| o.outcome.detected).count();
+        let errors: Vec<f64> = of_corner
+            .iter()
+            .flat_map(|o| o.score.pairs.iter().map(|p| p.error_um))
+            .collect();
+        let mean_err = if errors.is_empty() {
+            0.0
+        } else {
+            errors.iter().sum::<f64>() / errors.len() as f64
+        };
+        out.push_str(&format!(
+            "corner {:<14} ({:.2} V, {:>5.1} C): detected {}/{}  mean err {:>6.1} um\n",
+            corner.label,
+            corner.vdd,
+            corner.temp_c,
+            detected,
+            of_corner.len(),
+            mean_err,
+        ));
+    }
+    if let Some(worst) = outcomes
+        .iter()
+        .filter(|o| o.score.mean_error_um().is_some())
+        .max_by(|a, b| {
+            a.score
+                .mean_error_um()
+                .unwrap_or(f64::MIN)
+                .total_cmp(&b.score.mean_error_um().unwrap_or(f64::MIN))
+        })
+    {
+        out.push_str(&format!(
+            "worst tuple: K={} at corner {} -> recovered {}, mean err {:.1} um, miss {}, false alarm {}\n",
+            worst.true_count,
+            corners[worst.corner].label,
+            worst.outcome.sources.len(),
+            worst.score.mean_error_um().unwrap_or(f64::NAN),
+            worst.score.miss,
+            worst.score.false_alarm,
         ));
     }
     out

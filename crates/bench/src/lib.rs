@@ -14,6 +14,7 @@
 //! | `vt_sweep`    | Sec. VI-C — supply-voltage and temperature robustness |
 //! | `mttd`        | Sec. VI-D — traces-to-detect and MTTD                 |
 //! | `monitor`     | Sec. II-A — streaming run-time monitor event log      |
+//! | `multi_localize` | Sec. VI-D generalized — K-emitter joint localization |
 //! | `repro_all`   | runs everything above in sequence                     |
 //! | `bench_check` | CI gate: fresh `BENCH_*.json` vs committed seed       |
 //!

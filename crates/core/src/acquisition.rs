@@ -177,7 +177,7 @@ pub struct AcqContext<'c> {
     display: SpectrumScratch,
     currents: Vec<(Source, Vec<f64>)>,
     extra_toggles: Vec<f64>,
-    extra_current: Vec<f64>,
+    extra_currents: Vec<Vec<f64>>,
     flux: Vec<f64>,
     emf: Vec<f64>,
     concat: Vec<f64>,
@@ -216,7 +216,7 @@ impl<'c> AcqContext<'c> {
             display,
             currents: Vec::new(),
             extra_toggles: Vec::new(),
-            extra_current: Vec::new(),
+            extra_currents: Vec::new(),
             flux: Vec::new(),
             emf: Vec::new(),
             concat: Vec::new(),
@@ -300,13 +300,15 @@ impl<'c> AcqContext<'c> {
         record_cycles: usize,
         out: &mut TraceSet,
     ) -> Result<(), CoreError> {
-        self.acquire_records(scenario, sensor, n_records, record_cycles, None, out)
+        self.acquire_records(scenario, sensor, n_records, record_cycles, &[], out)
     }
 
     /// [`acquire_len_into`](Self::acquire_len_into) with a synthetic
     /// emitter superposed on the chip's activity — the placement-sweep
     /// acquisition path. With `emitter.coupling == 0.0` or zero drive
-    /// the result is bit-identical to the plain acquisition.
+    /// the result is bit-identical to the plain acquisition. Exactly
+    /// equivalent to [`acquire_len_with_emitters_into`]
+    /// (Self::acquire_len_with_emitters_into) with a one-element slice.
     ///
     /// # Errors
     ///
@@ -325,9 +327,34 @@ impl<'c> AcqContext<'c> {
             sensor,
             n_records,
             record_cycles,
-            Some(emitter),
+            std::slice::from_ref(&emitter),
             out,
         )
+    }
+
+    /// [`acquire_len_into`](Self::acquire_len_into) with a **set** of
+    /// synthetic emitters superposed on the chip's activity — the joint-
+    /// localization acquisition path. Every emitter is pure in the
+    /// absolute cycle, so placements still parallelize: each one's
+    /// toggle train is regenerated from the record's start cycle and
+    /// superposed in slice order, exactly like the chip's own sources.
+    /// An empty slice is bit-identical to the plain acquisition and a
+    /// one-element slice is bit-identical to
+    /// [`acquire_len_with_emitter_into`](Self::acquire_len_with_emitter_into).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`acquire_len_into`](Self::acquire_len_into).
+    pub fn acquire_len_with_emitters_into(
+        &mut self,
+        scenario: &Scenario,
+        sensor: SensorSelect,
+        n_records: usize,
+        record_cycles: usize,
+        emitters: &[InjectedEmitter<'_>],
+        out: &mut TraceSet,
+    ) -> Result<(), CoreError> {
+        self.acquire_records(scenario, sensor, n_records, record_cycles, emitters, out)
     }
 
     fn acquire_records(
@@ -336,7 +363,7 @@ impl<'c> AcqContext<'c> {
         sensor: SensorSelect,
         n_records: usize,
         record_cycles: usize,
-        emitter: Option<InjectedEmitter<'_>>,
+        emitters: &[InjectedEmitter<'_>],
         out: &mut TraceSet,
     ) -> Result<(), CoreError> {
         if n_records == 0 {
@@ -392,6 +419,9 @@ impl<'c> AcqContext<'c> {
             let _ = sim.advance(scenario.warmup_cycles);
         }
 
+        if self.extra_currents.len() < emitters.len() {
+            self.extra_currents.resize_with(emitters.len(), Vec::new);
+        }
         out.fs_hz = fs;
         out.sensor = sensor;
         out.records.truncate(n_records);
@@ -415,9 +445,11 @@ impl<'c> AcqContext<'c> {
                 .zip(couplings)
                 .map(|((_, wave), &k)| (wave.as_slice(), k * signal_scale))
                 .collect();
-            if let Some(e) = emitter {
-                // The emitter is pure in the absolute cycle, so records
-                // join seamlessly exactly like the chip's own sources.
+            // Each emitter is pure in the absolute cycle, so records
+            // join seamlessly exactly like the chip's own sources; the
+            // superposition is ordered by the emitter slice, keeping the
+            // accumulation (and its rounding) deterministic.
+            for (j, e) in emitters.iter().enumerate() {
                 e.trojan.toggles_into(
                     record_start_cycle,
                     record_cycles,
@@ -428,9 +460,11 @@ impl<'c> AcqContext<'c> {
                     &self.extra_toggles,
                     e.charge_fc,
                     calib::CLK_HZ,
-                    &mut self.extra_current,
+                    &mut self.extra_currents[j],
                 );
-                pairs.push((self.extra_current.as_slice(), e.coupling * signal_scale));
+            }
+            for (j, e) in emitters.iter().enumerate() {
+                pairs.push((self.extra_currents[j].as_slice(), e.coupling * signal_scale));
             }
             induced_emf_into(
                 &pairs,
@@ -847,6 +881,89 @@ mod tests {
         let rms_cat = (cat.iter().map(|v| v * v).sum::<f64>() / cat.len() as f64).sqrt();
         assert_eq!(t.rms().to_bits(), rms_cat.to_bits());
         assert_eq!(TraceSet::default().rms(), 0.0);
+    }
+
+    #[test]
+    fn emitter_slice_generalizes_single_emitter_bitwise() {
+        let trojan = SyntheticTrojan::am_reference(800.0);
+        let scenario = Scenario::baseline().with_seed(11);
+        // Borrow a realistic coupling magnitude from the chip's own
+        // sources so the superposed emitter lands in the ADC's range.
+        let k = chip()
+            .couplings_for(SensorSelect::Psa(10))
+            .unwrap()
+            .iter()
+            .fold(0.0f64, |a, b| a.max(b.abs()));
+        let e = InjectedEmitter {
+            trojan: &trojan,
+            charge_fc: 2.0,
+            coupling: k,
+        };
+
+        let mut ctx = AcqContext::new(chip());
+        let mut single = TraceSet::default();
+        ctx.acquire_len_with_emitter_into(&scenario, SensorSelect::Psa(10), 2, 256, e, &mut single)
+            .unwrap();
+        let mut slice1 = TraceSet::default();
+        ctx.acquire_len_with_emitters_into(
+            &scenario,
+            SensorSelect::Psa(10),
+            2,
+            256,
+            &[e],
+            &mut slice1,
+        )
+        .unwrap();
+        // One-element slice is the old single-emitter path, bit for bit.
+        assert_eq!(single, slice1);
+
+        // Empty slice is the plain acquisition, bit for bit.
+        let mut plain = TraceSet::default();
+        ctx.acquire_len_into(&scenario, SensorSelect::Psa(10), 2, 256, &mut plain)
+            .unwrap();
+        let mut slice0 = TraceSet::default();
+        ctx.acquire_len_with_emitters_into(
+            &scenario,
+            SensorSelect::Psa(10),
+            2,
+            256,
+            &[],
+            &mut slice0,
+        )
+        .unwrap();
+        assert_eq!(plain, slice0);
+
+        // A second superposed emitter actually changes the records, and
+        // the two-emitter path is deterministic across contexts.
+        let e2 = InjectedEmitter {
+            trojan: &trojan,
+            charge_fc: 2.0,
+            coupling: -0.5 * k,
+        };
+        let mut both = TraceSet::default();
+        ctx.acquire_len_with_emitters_into(
+            &scenario,
+            SensorSelect::Psa(10),
+            2,
+            256,
+            &[e, e2],
+            &mut both,
+        )
+        .unwrap();
+        assert_ne!(both, single);
+        let mut fresh = AcqContext::new(chip());
+        let mut again = TraceSet::default();
+        fresh
+            .acquire_len_with_emitters_into(
+                &scenario,
+                SensorSelect::Psa(10),
+                2,
+                256,
+                &[e, e2],
+                &mut again,
+            )
+            .unwrap();
+        assert_eq!(both, again);
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::calib;
 use crate::chip::{SensorSelect, TestChip};
 use crate::cross_domain::{merge_adjacent_bins, Baseline};
 use crate::error::CoreError;
+use crate::localize;
 use crate::scenario::Scenario;
 use psa_dsp::peak;
 use psa_gatesim::synth::SyntheticTrojan;
@@ -131,6 +132,18 @@ pub fn placement_seed(base_seed: u64, site: &EmitterSite) -> u64 {
     )
 }
 
+/// The per-sensor view of the array with a set of emitters superposed:
+/// every sensor's spectrum at atlas resolution and its emergent
+/// components (merged bins with dB excess) over the baseline envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensedArray {
+    /// Per-sensor full-resolution spectra, dB.
+    pub spectra: Vec<Vec<f64>>,
+    /// Per-sensor emergent components as `(bin, excess_db)`, merged
+    /// across adjacent bins.
+    pub components: Vec<Vec<(usize, f64)>>,
+}
+
 /// The placement-sweep engine bound to a chip: cached sensor loop
 /// polygons plus the sweep configuration.
 #[derive(Debug)]
@@ -193,6 +206,12 @@ impl<'c> PlacementSweep<'c> {
     /// The chip under sweep.
     pub fn chip(&self) -> &'c TestChip {
         self.chip
+    }
+
+    /// Footprint centres of the 16 sensors, µm — the positions sensor-
+    /// granular localization snaps to.
+    pub fn sensor_centers(&self) -> &[Point] {
+        &self.sensor_centers
     }
 
     /// The emitter's coupling into each of the 16 sensors, derived on
@@ -269,6 +288,68 @@ impl<'c> PlacementSweep<'c> {
             .collect()
     }
 
+    /// Acquires all 16 sensors with a **set** of synthetic emitters
+    /// superposed and flags each sensor's emergent components over its
+    /// baseline envelope — the shared sensing front half of both the
+    /// single-placement atlas evaluation (a one-element set) and the
+    /// multi-source joint localizer ([`crate::multiloc`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Layout`] (`OffDie`) when any site's footprint
+    /// leaves the die; [`CoreError::InvalidParameter`] when `envelopes`
+    /// is missing sensors; acquisition/DSP errors otherwise.
+    pub fn sense_emitters_with(
+        &self,
+        ctx: &mut AcqContext<'_>,
+        scenario: &Scenario,
+        emitters: &[SyntheticEmitter],
+        envelopes: &[Vec<f64>],
+    ) -> Result<SensedArray, CoreError> {
+        let n_sensors = self.chip.sensor_bank().len();
+        if envelopes.len() < n_sensors {
+            return Err(CoreError::InvalidParameter {
+                what: "atlas baseline is missing sensors",
+            });
+        }
+        let rows: Vec<Vec<f64>> = emitters
+            .iter()
+            .map(|e| self.coupling_row(&e.site))
+            .collect::<Result<_, _>>()?;
+
+        let mut spectra = Vec::with_capacity(n_sensors);
+        let mut components: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n_sensors);
+        let mut traces = TraceSet::default();
+        let mut injected: Vec<InjectedEmitter<'_>> = Vec::with_capacity(emitters.len());
+        for i in 0..n_sensors {
+            injected.clear();
+            for (e, row) in emitters.iter().zip(&rows) {
+                injected.push(InjectedEmitter {
+                    trojan: &e.trojan,
+                    charge_fc: e.charge_fc,
+                    coupling: row[i],
+                });
+            }
+            ctx.acquire_len_with_emitters_into(
+                scenario,
+                SensorSelect::Psa(i),
+                self.config.records_per_sensor,
+                self.config.record_cycles,
+                &injected,
+                &mut traces,
+            )?;
+            let spec = ctx.fullres_spectrum_db(&traces)?;
+            let hits =
+                peak::excess_over_baseline_db(&spec, &envelopes[i], self.config.threshold_db);
+            components.push(merge_adjacent_bins(&hits));
+            spectra.push(spec);
+        }
+        Ok(SensedArray {
+            spectra,
+            components,
+        })
+    }
+
     /// Runs one placement end to end: derive the coupling row, acquire
     /// all 16 sensors with the emitter superposed, detect emergent
     /// components against `baseline`, localize at the common line, and
@@ -319,32 +400,15 @@ impl<'c> PlacementSweep<'c> {
                 what: "atlas baseline is missing sensors",
             });
         }
-        let couplings = self.coupling_row(&emitter.site)?;
 
         // Stage 1: per-sensor spectra with the emitter superposed, and
-        // their emergent components over the baseline envelope.
-        let mut spectra = Vec::with_capacity(n_sensors);
-        let mut components: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n_sensors);
-        let mut traces = TraceSet::default();
-        for (i, &coupling) in couplings.iter().enumerate() {
-            ctx.acquire_len_with_emitter_into(
-                scenario,
-                SensorSelect::Psa(i),
-                self.config.records_per_sensor,
-                self.config.record_cycles,
-                InjectedEmitter {
-                    trojan: &emitter.trojan,
-                    charge_fc: emitter.charge_fc,
-                    coupling,
-                },
-                &mut traces,
-            )?;
-            let spec = ctx.fullres_spectrum_db(&traces)?;
-            let hits =
-                peak::excess_over_baseline_db(&spec, &envelopes[i], self.config.threshold_db);
-            components.push(merge_adjacent_bins(&hits));
-            spectra.push(spec);
-        }
+        // their emergent components over the baseline envelope. The
+        // single placement is a one-element set through the general
+        // multi-emitter sensing path (bit-identical by construction).
+        let SensedArray {
+            spectra,
+            components,
+        } = self.sense_emitters_with(ctx, scenario, std::slice::from_ref(emitter), envelopes)?;
 
         let true_pos = emitter.site.center;
         let nearest_sensor_um = self
@@ -374,21 +438,10 @@ impl<'c> PlacementSweep<'c> {
 
         // Stage 2: the common emergent line — the component nearest the
         // 48 MHz sideband family when one lies within ±5 MHz, else the
-        // globally strongest (mirrors the batch analyzer).
+        // globally strongest (the shared rule of `localize`).
         let all: Vec<(usize, f64)> = components.iter().flatten().copied().collect();
-        let strongest = all
-            .iter()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("detected implies a component");
-        let line_bin = all
-            .iter()
-            .filter(|&&(bin, _)| (self.bin_hz(bin) - 48.0e6).abs() < 5.0e6)
-            .min_by(|a, b| {
-                (self.bin_hz(a.0) - 48.0e6)
-                    .abs()
-                    .total_cmp(&(self.bin_hz(b.0) - 48.0e6).abs())
-            })
-            .unwrap_or(strongest)
+        let line_bin = localize::pick_common_line(&all, |t| self.bin_hz(t.0), |t| t.1)
+            .expect("detected implies a component")
             .0;
 
         // Stage 3: rank sensors by absolute amplitude excess at the
@@ -396,15 +449,7 @@ impl<'c> PlacementSweep<'c> {
         // score the localization error in µm.
         let mut amplitudes = Vec::with_capacity(n_sensors);
         for (spec, base) in spectra.iter().zip(&baseline.per_sensor_db) {
-            let lo = line_bin.saturating_sub(3);
-            let hi = (line_bin + 4).min(spec.len()).min(base.len());
-            let amp = (lo..hi)
-                .map(|k| {
-                    psa_dsp::spectrum::db_to_amplitude(spec[k])
-                        - psa_dsp::spectrum::db_to_amplitude(base[k])
-                })
-                .fold(0.0f64, f64::max);
-            amplitudes.push(amp.max(0.0));
+            amplitudes.push(localize::amplitude_excess_at_line(spec, base, line_bin));
         }
         let predicted = amplitudes
             .iter()
@@ -414,24 +459,8 @@ impl<'c> PlacementSweep<'c> {
             .expect("sensor bank is non-empty");
         let error_um = self.sensor_centers[predicted].distance_to(true_pos);
 
-        let total_amp: f64 = amplitudes.iter().sum();
-        let centroid_error_um = if total_amp > 0.0 {
-            let cx = amplitudes
-                .iter()
-                .zip(&self.sensor_centers)
-                .map(|(a, c)| a * c.x)
-                .sum::<f64>()
-                / total_amp;
-            let cy = amplitudes
-                .iter()
-                .zip(&self.sensor_centers)
-                .map(|(a, c)| a * c.y)
-                .sum::<f64>()
-                / total_amp;
-            Some(Point::new(cx, cy).distance_to(true_pos))
-        } else {
-            None
-        };
+        let centroid_error_um = localize::amplitude_centroid(&amplitudes, &self.sensor_centers)
+            .map(|c| c.distance_to(true_pos));
 
         Ok(PlacementOutcome {
             true_x_um: true_pos.x,

@@ -20,6 +20,7 @@ use crate::calib;
 use crate::chip::{SensorSelect, TestChip};
 use crate::error::CoreError;
 use crate::identify::{self, TemplateLibrary};
+use crate::localize;
 use crate::scenario::Scenario;
 use psa_dsp::peak;
 use psa_gatesim::trojan::TrojanKind;
@@ -338,17 +339,9 @@ impl<'a> CrossDomainAnalyzer<'a> {
             .iter()
             .flat_map(|a| a.components.iter().copied())
             .collect();
-        let strongest = all_components
-            .iter()
-            .cloned()
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("detected implies at least one component");
-        let prominent = all_components
-            .iter()
-            .filter(|(f, _)| (f - 48.0e6).abs() < 5.0e6)
-            .min_by(|a, b| (a.0 - 48.0e6).abs().total_cmp(&(b.0 - 48.0e6).abs()))
-            .map(|&(f, _)| f)
-            .unwrap_or(strongest.0);
+        let prominent = localize::pick_common_line(&all_components, |t| t.0, |t| t.1)
+            .expect("detected implies at least one component")
+            .0;
         let line_bin = ctx.fullres_freq_bin(prominent);
 
         // Localization: rank sensors by the *absolute* emergent
@@ -358,17 +351,11 @@ impl<'a> CrossDomainAnalyzer<'a> {
         // unbiased floor estimate); the max-envelope is only for the
         // detection threshold.
         for (i, anomaly) in ranking.iter_mut().enumerate() {
-            let window = 3usize;
-            let lo = line_bin.saturating_sub(window);
-            let hi = (line_bin + window + 1).min(spectra[i].len());
-            let base = &baseline.per_sensor_db[i];
-            let amp = (lo..hi)
-                .map(|k| {
-                    psa_dsp::spectrum::db_to_amplitude(spectra[i][k])
-                        - psa_dsp::spectrum::db_to_amplitude(base[k])
-                })
-                .fold(0.0f64, f64::max);
-            anomaly.amplitude_v = amp.max(0.0);
+            anomaly.amplitude_v = localize::amplitude_excess_at_line(
+                &spectra[i],
+                &baseline.per_sensor_db[i],
+                line_bin,
+            );
         }
         ranking.sort_by(|a, b| b.amplitude_v.total_cmp(&a.amplitude_v));
         let top_sensor = ranking[0].sensor;

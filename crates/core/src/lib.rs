@@ -37,6 +37,12 @@
 //!   cycle-stamped events, and per-session MTTD reports.
 //! * [`atlas`] — the localization-accuracy atlas: parametric synthetic-
 //!   Trojan placement sweeps scored as localization error in µm.
+//! * [`localize`] — the shared common-line localization primitives
+//!   (line selection, absolute amplitude excess, centroid refinement)
+//!   every localizing layer routes through.
+//! * [`multiloc`] — hypothesis-based joint localization of K concurrent
+//!   emitters by greedy successive cancellation over coupling-row
+//!   signatures, with Localection-style miss/false-alarm scoring.
 //! * [`progsearch`] — the SNR-driven programming search: scores
 //!   arbitrary lattice programmings (`SensorSelect::Custom`) by their
 //!   measured detection SNR per Trojan region and provides the
@@ -71,8 +77,10 @@ pub mod cross_domain;
 pub mod detector;
 pub mod error;
 pub mod identify;
+pub mod localize;
 pub mod monitor;
 pub mod mttd;
+pub mod multiloc;
 pub mod progsearch;
 pub mod report;
 pub mod scenario;

@@ -158,21 +158,15 @@ impl Monitor {
     fn localize(&self, ctx: &AcqContext<'_>, tick: &[crate::monitor::LaneObservation]) -> usize {
         let hitting: Vec<(usize, &crate::monitor::LaneObservation)> =
             tick.iter().enumerate().filter(|(_, o)| o.hit).collect();
-        let strongest = hitting
-            .iter()
-            .max_by(|a, b| a.1.top_excess_db.total_cmp(&b.1.top_excess_db))
-            .expect("an alarm implies a hitting lane");
-        let dist_48 = |o: &crate::monitor::LaneObservation| {
-            (ctx.fullres_bin_hz(o.top_bin.expect("hitting lane has a top bin")) - 48.0e6).abs()
-        };
-        let line_bin = hitting
-            .iter()
-            .filter(|(_, o)| dist_48(o) < 5.0e6)
-            .min_by(|a, b| dist_48(a.1).total_cmp(&dist_48(b.1)))
-            .unwrap_or(strongest)
-            .1
-            .top_bin
-            .expect("hitting lane has a top bin");
+        let line_bin = crate::localize::pick_common_line(
+            &hitting,
+            |(_, o)| ctx.fullres_bin_hz(o.top_bin.expect("hitting lane has a top bin")),
+            |(_, o)| o.top_excess_db,
+        )
+        .expect("an alarm implies a hitting lane")
+        .1
+        .top_bin
+        .expect("hitting lane has a top bin");
         let mut best_sensor = hitting[0].1.sensor;
         let mut best_amp = f64::NEG_INFINITY;
         for (lane_idx, obs) in &hitting {

@@ -339,15 +339,7 @@ impl SlidingDetector {
     ///
     /// Panics if `lane_idx` is out of range.
     pub fn amplitude_excess_at(&self, lane_idx: usize, spec: &[f64], bin: usize) -> f64 {
-        let base = &self.lanes[lane_idx].base_env;
-        let lo = bin.saturating_sub(3);
-        let hi = (bin + 4).min(spec.len()).min(base.len());
-        (lo..hi)
-            .map(|k| {
-                psa_dsp::spectrum::db_to_amplitude(spec[k])
-                    - psa_dsp::spectrum::db_to_amplitude(base[k])
-            })
-            .fold(0.0f64, f64::max)
+        crate::localize::amplitude_excess_at_line(spec, &self.lanes[lane_idx].base_env, bin)
     }
 }
 

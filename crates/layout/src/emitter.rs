@@ -72,6 +72,18 @@ impl EmitterSite {
         }
     }
 
+    /// Whether this site's footprint rectangle touches or overlaps
+    /// `other`'s (boundary contact counts as overlap — two placed
+    /// payloads cannot share cells).
+    pub fn overlaps(&self, other: &EmitterSite) -> bool {
+        let a = self.footprint();
+        let b = other.footprint();
+        a.min().x <= b.max().x
+            && b.min().x <= a.max().x
+            && a.min().y <= b.max().y
+            && b.min().y <= a.max().y
+    }
+
     /// Dipole sample points covering the footprint: a `per_side` ×
     /// `per_side` grid of tile centres (a single centre point for
     /// `per_side <= 1` or zero extent). The EM side averages unit-moment
@@ -95,6 +107,42 @@ impl EmitterSite {
         }
         pts
     }
+}
+
+/// Validates that every pair of sites in a placement tuple keeps at
+/// least `min_separation_um` centre-to-centre distance and that no two
+/// footprints overlap — the placement-tuple analogue of
+/// [`EmitterSite::validate_on`].
+///
+/// Joint localization resolves concurrent emitters by their distinct
+/// per-sensor coupling signatures; two payloads placed on top of each
+/// other are physically one emitter, so campaigns reject such tuples up
+/// front instead of scoring an unresolvable placement.
+///
+/// # Errors
+///
+/// Returns [`LayoutError::SitesTooClose`] naming the first offending
+/// pair (in tuple order) whose centres sit closer than
+/// `min_separation_um` or whose footprints touch or overlap.
+pub fn validate_separation(
+    sites: &[EmitterSite],
+    min_separation_um: f64,
+) -> Result<(), LayoutError> {
+    for (i, a) in sites.iter().enumerate() {
+        for b in sites.iter().skip(i + 1) {
+            let separation_um = a.center.distance_to(b.center);
+            if separation_um < min_separation_um || a.overlaps(b) {
+                return Err(LayoutError::SitesTooClose {
+                    x1_um: a.center.x,
+                    y1_um: a.center.y,
+                    x2_um: b.center.x,
+                    y2_um: b.center.y,
+                    separation_um,
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// A regular `nx` × `ny` grid of emitter sites across the die, inset by
@@ -176,6 +224,53 @@ mod tests {
             EmitterSite::new(Point::new(1.0, 2.0), 0.0).dipole_points(3),
             vec![Point::new(1.0, 2.0)]
         );
+    }
+
+    #[test]
+    fn overlap_and_separation_validation() {
+        let a = EmitterSite::new(Point::new(500.0, 500.0), 40.0);
+        let apart = EmitterSite::new(Point::new(700.0, 500.0), 40.0);
+        let touching = EmitterSite::new(Point::new(540.0, 500.0), 40.0);
+        let inside = EmitterSite::new(Point::new(510.0, 510.0), 40.0);
+        assert!(!a.overlaps(&apart));
+        assert!(a.overlaps(&touching)); // boundary contact counts
+        assert!(a.overlaps(&inside));
+        assert!(inside.overlaps(&a)); // symmetric
+
+        // Far-apart tuple passes; empty and singleton tuples trivially pass.
+        assert!(validate_separation(&[a, apart], 100.0).is_ok());
+        assert!(validate_separation(&[], 100.0).is_ok());
+        assert!(validate_separation(&[a], 100.0).is_ok());
+
+        // Centre distance below the minimum is rejected with the pair named.
+        let err = validate_separation(&[a, apart], 250.0).unwrap_err();
+        match err {
+            LayoutError::SitesTooClose {
+                x1_um,
+                x2_um,
+                separation_um,
+                ..
+            } => {
+                assert_eq!(x1_um, 500.0);
+                assert_eq!(x2_um, 700.0);
+                assert_eq!(separation_um, 200.0);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+
+        // Overlapping footprints are rejected even when the centre
+        // separation clears the minimum.
+        assert!(matches!(
+            validate_separation(&[a, touching], 10.0),
+            Err(LayoutError::SitesTooClose { .. })
+        ));
+
+        // First offending pair in tuple order is reported.
+        let third = EmitterSite::new(Point::new(505.0, 500.0), 0.0);
+        match validate_separation(&[a, apart, third], 100.0).unwrap_err() {
+            LayoutError::SitesTooClose { x2_um, .. } => assert_eq!(x2_um, 505.0),
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -38,6 +38,20 @@ pub enum LayoutError {
         /// Requested site centre y, µm.
         y_um: f64,
     },
+    /// Two emitter sites in one placement tuple overlap or sit closer
+    /// than the requested minimum separation.
+    SitesTooClose {
+        /// First site centre x, µm.
+        x1_um: f64,
+        /// First site centre y, µm.
+        y1_um: f64,
+        /// Second site centre x, µm.
+        x2_um: f64,
+        /// Second site centre y, µm.
+        y2_um: f64,
+        /// Centre-to-centre separation of the offending pair, µm.
+        separation_um: f64,
+    },
 }
 
 impl fmt::Display for LayoutError {
@@ -66,6 +80,17 @@ impl fmt::Display for LayoutError {
                     "emitter site at ({x_um}, {y_um}) um falls outside the die"
                 )
             }
+            LayoutError::SitesTooClose {
+                x1_um,
+                y1_um,
+                x2_um,
+                y2_um,
+                separation_um,
+            } => write!(
+                f,
+                "emitter sites at ({x1_um}, {y1_um}) and ({x2_um}, {y2_um}) um \
+                 are only {separation_um} um apart"
+            ),
         }
     }
 }
@@ -92,6 +117,13 @@ mod tests {
             LayoutError::OffDie {
                 x_um: -3.0,
                 y_um: 40.0,
+            },
+            LayoutError::SitesTooClose {
+                x1_um: 100.0,
+                y1_um: 100.0,
+                x2_um: 110.0,
+                y2_um: 100.0,
+                separation_um: 10.0,
             },
         ] {
             assert!(!e.to_string().is_empty());

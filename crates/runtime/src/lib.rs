@@ -30,6 +30,12 @@
 //! * [`atlas`] — localization-accuracy atlas campaigns: synthetic-
 //!   Trojan placements × VDD/temp corners × seeds fanned across
 //!   workers, with per-corner baselines learned in parallel first.
+//! * [`multiloc`] — joint-localization campaigns: K-emitter placement
+//!   tuples × VDD/temp corners × seeds through the joint
+//!   [`MultiLocalizer`](psa_core::multiloc::MultiLocalizer), with
+//!   per-corner baselines and amplitude-to-drive calibrations learned
+//!   in parallel first and every outcome scored Localection-style
+//!   against its tuple's ground truth.
 //! * [`fleet`] — fleet-scale streaming monitoring: 10k+ seeded per-die
 //!   chip streams ([`psa_core::chip::ChipVariation`]) multiplexed
 //!   through shared per-worker contexts in fixed round-robin order,
@@ -67,6 +73,7 @@ pub mod campaign;
 pub mod engine;
 pub mod fleet;
 pub mod monitor;
+pub mod multiloc;
 pub mod progsearch;
 
 pub use atlas::{AtlasCampaign, AtlasCorner, AtlasJob, AtlasOutcome};
@@ -75,4 +82,5 @@ pub use campaign::{AcquireJob, Campaign};
 pub use engine::Engine;
 pub use fleet::{ChipOutcome, Fleet, FleetBaselines, FleetConfig, FleetReport};
 pub use monitor::{MonitorCampaign, MonitorJob, MonitorOutcome, MonitorSummary};
+pub use multiloc::{MultilocCampaign, MultilocJob, MultilocOutcome};
 pub use progsearch::{ProgramSearch, RoundSummary, SearchReport};
