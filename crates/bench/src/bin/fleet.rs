@@ -83,6 +83,9 @@ fn main() {
     // Stage 2: the multiplexed monitored pass — measured once, recorded
     // in two units (records/sec and chips/sec).
     let stream_records = (cfg.chips * cfg.records) as u64;
+    // Sanctioned wall-clock read: feeds the throughput report only,
+    // never a byte-compared artifact (see clippy.toml).
+    #[allow(clippy::disallowed_methods)]
     let t0 = Instant::now();
     let outcomes = fleet.run(&engine, &baselines).expect("fleet streams");
     let stream_wall = t0.elapsed().as_secs_f64();

@@ -21,7 +21,12 @@ use crate::stdcell::CellMix;
 use std::fmt;
 
 /// The modules placed on the test chip.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// `Ord` is derived: declaration order is the canonical module order
+/// used wherever clusters, sources, or reports sort by module — a
+/// compiler-checked total order instead of an allocating
+/// `format!("{:?}", ..)` sort key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[non_exhaustive]
 pub enum ModuleKind {
     /// The AES-128-LUT main circuit (Morioka/Satoh S-box architecture).

@@ -146,12 +146,13 @@ pub fn place_floorplan(fp: &Floorplan, seed: u64) -> Result<Vec<PlacedCell>, Lay
 /// separately per module, producing the dipole source list for the EM
 /// model.
 pub fn cluster_cells(cells: &[PlacedCell], tile_um: f64) -> Vec<Cluster> {
-    use std::collections::HashMap;
-    // Weighted-centroid accumulator per (module, tile-x, tile-y):
-    // Σx·q, Σy·q, Σq, cell count.
+    use std::collections::BTreeMap;
+    // Weighted-centroid accumulator per (module, tile-x, tile-y): Σx·q,
+    // Σy·q, Σq, cell count. A BTreeMap so the accumulator itself can
+    // never leak hash-seed-dependent order into the source list.
     type TileAccum = (f64, f64, f64, usize);
     let tile = tile_um.max(1.0);
-    let mut map: HashMap<(ModuleKind, i64, i64), TileAccum> = HashMap::new();
+    let mut map: BTreeMap<(ModuleKind, i64, i64), TileAccum> = BTreeMap::new();
     for cell in cells {
         let tx = (cell.pos.x / tile).floor() as i64;
         let ty = (cell.pos.y / tile).floor() as i64;
@@ -173,10 +174,11 @@ pub fn cluster_cells(cells: &[PlacedCell], tile_um: f64) -> Vec<Cluster> {
             module,
         })
         .collect();
-    // Deterministic order: by module, then position.
+    // Deterministic order: by module (derived `Ord`, i.e. declaration
+    // order), then position.
     clusters.sort_by(|a, b| {
-        format!("{:?}", a.module)
-            .cmp(&format!("{:?}", b.module))
+        a.module
+            .cmp(&b.module)
             .then(a.centroid.x.total_cmp(&b.centroid.x))
             .then(a.centroid.y.total_cmp(&b.centroid.y))
     });
@@ -329,6 +331,39 @@ mod tests {
         let coarse = cluster_cells(&cells, 200.0).len();
         let fine = cluster_cells(&cells, 25.0).len();
         assert!(fine > coarse);
+    }
+
+    #[test]
+    fn cluster_order_is_pinned() {
+        // The cluster list feeds the coupling matrix, so its order is a
+        // determinism contract: modules in declaration (derived-Ord)
+        // order, then centroid x, then centroid y — and byte-identical
+        // across calls.
+        let fp = Floorplan::date24_test_chip();
+        let cells = place_floorplan(&fp, 11).unwrap();
+        let clusters = cluster_cells(&cells, 64.0);
+        let again = cluster_cells(&cells, 64.0);
+        assert_eq!(clusters, again);
+        for w in clusters.windows(2) {
+            let key = |c: &Cluster| {
+                (
+                    c.module,
+                    c.centroid.x.to_bits() as i64,
+                    c.centroid.y.to_bits() as i64,
+                )
+            };
+            assert!(key(&w[0]) <= key(&w[1]), "clusters out of order: {w:?}");
+        }
+        // Declaration order puts the AES core first and the Trojans
+        // after the infrastructure modules.
+        assert_eq!(clusters[0].module, ModuleKind::AesCore);
+        let first_trojan = clusters
+            .iter()
+            .position(|c| c.module.is_trojan())
+            .expect("test chip has Trojan clusters");
+        assert!(clusters[first_trojan..]
+            .iter()
+            .all(|c| c.module.is_trojan()));
     }
 
     #[test]

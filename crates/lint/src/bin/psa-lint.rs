@@ -1,0 +1,76 @@
+//! `psa-lint` CLI: lint the workspace for determinism & hot-path
+//! contract violations.
+//!
+//! ```text
+//! psa-lint [--json] [--rules] [ROOT]
+//! ```
+//!
+//! Lints every `.rs` file under `ROOT` (default: the current
+//! directory), printing `file:line: [rule] message` diagnostics, or a
+//! JSON array with `--json`. Exits 0 when clean, 1 on unsuppressed
+//! findings, 2 on usage or I/O errors.
+
+use psa_lint::engine::findings_to_json;
+use psa_lint::rules::RuleId;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--rules" => {
+                for rule in RuleId::ALL {
+                    println!("{:<24} {}", rule.name(), rule.summary());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: psa-lint [--json] [--rules] [ROOT]");
+                println!("  lints every .rs file under ROOT (default .) for determinism");
+                println!("  & hot-path contract violations; exit 1 on findings.");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("error: unknown flag `{flag}` (try --help)");
+                return ExitCode::from(2);
+            }
+            path => {
+                if root.is_some() {
+                    eprintln!("error: more than one ROOT argument (try --help)");
+                    return ExitCode::from(2);
+                }
+                root = Some(PathBuf::from(path));
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    let findings = match psa_lint::lint_tree(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", findings_to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render());
+        }
+        if findings.is_empty() {
+            eprintln!("psa-lint: clean");
+        } else {
+            eprintln!("psa-lint: {} unsuppressed finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type for the lint engine.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Errors the lint engine can surface (all I/O: the lexer and rules
+/// themselves never fail).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintError {
+    /// Reading a file or directory failed.
+    Io {
+        /// The path being read.
+        path: PathBuf,
+        /// The rendered I/O error.
+        message: String,
+    },
+}
+
+impl LintError {
+    /// Wraps an I/O error with the path being accessed.
+    pub fn io(path: &Path, err: &std::io::Error) -> LintError {
+        LintError::Io {
+            path: path.to_path_buf(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::Io { path, message } => {
+                write!(f, "io error at {}: {message}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for LintError {}

@@ -1,0 +1,428 @@
+//! A small, lossless-enough Rust lexer for contract linting.
+//!
+//! The lexer's single job is to let the rule engine match on *code*
+//! tokens without being fooled by comments, string literals, raw
+//! strings, or char-vs-lifetime ambiguity. It is not a full Rust
+//! front end: it produces a flat token stream (identifiers, literals,
+//! punctuation) plus a side channel of comments, which is where
+//! `psa-lint: allow(...)` suppression directives live.
+//!
+//! Guarantees the rules rely on:
+//!
+//! * Text inside `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `c"…"` and char
+//!   literals never produces identifier tokens — `"HashMap"` in a
+//!   string is invisible to the rules.
+//! * Text inside `// …` and (nested) `/* … */` comments never produces
+//!   tokens either; comment text is captured verbatim per line so the
+//!   suppression parser can scan it.
+//! * Lifetimes (`'a`) are distinguished from char literals (`'a'`) so
+//!   an apostrophe never desynchronises the stream.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `unwrap`, `mod`, …).
+    Ident,
+    /// A lifetime (`'a`) — kept distinct so rules never match it.
+    Lifetime,
+    /// Any string, raw-string, byte-string, or char literal.
+    Literal,
+    /// A numeric literal.
+    Number,
+    /// A single punctuation character (`.`, `:`, `!`, `(`, `{`, …).
+    Punct(char),
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind; punctuation carries its character.
+    pub kind: TokKind,
+    /// Source text for identifiers (empty for other kinds — rules only
+    /// ever match identifier spellings).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One comment captured during lexing (the suppression side channel).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// Lexer output: the code token stream plus the comment side channel.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes `source` into tokens and comments. Never fails: unterminated
+/// constructs simply consume the rest of the file (the compiler is the
+/// authority on well-formedness; the linter only needs to stay in sync
+/// on code that compiles).
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        chars: source.char_indices().peekable(),
+        src: source,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn bump(&mut self) -> Option<(usize, char)> {
+        let next = self.chars.next();
+        if let Some((_, '\n')) = next {
+            self.line += 1;
+        }
+        next
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        let mut clone = self.chars.clone();
+        clone.next();
+        clone.next().map(|(_, c)| c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: &str, line: u32) {
+        self.out.tokens.push(Tok {
+            kind,
+            text: text.to_string(),
+            line,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some((i, c)) = self.bump() {
+            let line = if c == '\n' { self.line - 1 } else { self.line };
+            match c {
+                c if c.is_whitespace() => {}
+                '/' if self.peek() == Some('/') => self.line_comment(i, line),
+                '/' if self.peek() == Some('*') => self.block_comment(i, line),
+                '"' => self.string_literal(line),
+                '\'' => self.quote(line),
+                c if c.is_ascii_digit() => self.number(c),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_literal(i, c, line),
+                c => self.push(TokKind::Punct(c), "", line),
+            }
+        }
+        self.out
+    }
+
+    /// `// …` to end of line; captures the text after the slashes.
+    fn line_comment(&mut self, start: usize, line: u32) {
+        let mut end = self.src.len();
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                end = self.chars.peek().map(|&(j, _)| j).unwrap_or(end);
+                break;
+            }
+            if let Some((j, _)) = self.bump() {
+                end = j + 1;
+            }
+        }
+        let text = self.src[start..end].trim_start_matches('/').trim();
+        self.out.comments.push(Comment {
+            line,
+            text: text.to_string(),
+        });
+    }
+
+    /// `/* … */` with nesting; captured as one comment at its start line.
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump(); // consume '*'
+        let mut depth = 1usize;
+        let mut end = self.src.len();
+        while depth > 0 {
+            match self.bump() {
+                Some((j, '*')) if self.peek() == Some('/') => {
+                    self.bump();
+                    depth -= 1;
+                    end = j;
+                }
+                Some((_, '/')) if self.peek() == Some('*') => {
+                    self.bump();
+                    depth += 1;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        let inner = self.src[start + 2..end.max(start + 2)].trim();
+        self.out.comments.push(Comment {
+            line,
+            text: inner.to_string(),
+        });
+    }
+
+    /// `"…"` with escapes; the opening quote is already consumed.
+    fn string_literal(&mut self, line: u32) {
+        while let Some((_, c)) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, "", line);
+    }
+
+    /// Raw string `r##"…"##` with `hashes` leading `#`s; the prefix and
+    /// opening quote are already consumed.
+    fn raw_string(&mut self, hashes: usize, line: u32) {
+        'outer: while let Some((_, c)) = self.bump() {
+            if c == '"' {
+                // A closing quote must be followed by exactly `hashes` #s.
+                for _ in 0..hashes {
+                    if self.peek() == Some('#') {
+                        self.bump();
+                    } else {
+                        continue 'outer;
+                    }
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Literal, "", line);
+    }
+
+    /// `'` — either a char literal or a lifetime.
+    fn quote(&mut self, line: u32) {
+        match (self.peek(), self.peek2()) {
+            // '\n' style escape: always a char literal.
+            (Some('\\'), _) => {
+                self.bump();
+                self.bump(); // the escaped char
+                while let Some(c) = self.peek() {
+                    self.bump();
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push(TokKind::Literal, "", line);
+            }
+            // 'x' — a one-char literal closed by a quote.
+            (Some(c), Some('\'')) if c != '\'' => {
+                self.bump();
+                self.bump();
+                self.push(TokKind::Literal, "", line);
+            }
+            // 'ident — a lifetime (no closing quote).
+            (Some(c), _) if c == '_' || c.is_alphabetic() => {
+                while let Some(c) = self.peek() {
+                    if c == '_' || c.is_alphanumeric() {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokKind::Lifetime, "", line);
+            }
+            _ => self.push(TokKind::Punct('\''), "", line),
+        }
+    }
+
+    /// Numeric literal: digits, hex/suffix chars, `.`-fraction and
+    /// signed exponents. Loose by design — rules never match numbers,
+    /// the lexer only has to not desynchronise on them.
+    fn number(&mut self, _first: char) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                    let was_exp = matches!(c, 'e' | 'E');
+                    self.bump();
+                    if was_exp {
+                        if let Some(s) = self.peek() {
+                            if (s == '+' || s == '-')
+                                && self.peek2().is_some_and(|d| d.is_ascii_digit())
+                            {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                Some('.') if self.peek2().is_some_and(|d| d.is_ascii_digit()) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        self.push(TokKind::Number, "", self.line);
+    }
+
+    /// Identifier, or a raw/byte/C string behind an `r`/`b`/`br`/`c`/`cr`
+    /// prefix, or a raw identifier `r#ident`.
+    fn ident_or_prefixed_literal(&mut self, start: usize, _first: char, line: u32) {
+        let mut end = start + 1;
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                if let Some((j, _)) = self.bump() {
+                    end = j + 1;
+                }
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..end];
+        let string_prefix = matches!(text, "r" | "b" | "br" | "c" | "cr");
+        match (string_prefix, self.peek()) {
+            (true, Some('"')) => {
+                self.bump();
+                if text.starts_with('r') || text.ends_with('r') {
+                    self.raw_string(0, line);
+                } else {
+                    self.string_literal(line);
+                }
+            }
+            (true, Some('#')) => {
+                // Count hashes; only a quote after them makes a raw string
+                // (`r#ident` is a raw identifier instead).
+                let probe = self.chars.clone();
+                let mut hashes = 0usize;
+                let mut is_raw = false;
+                for (_, c) in probe {
+                    match c {
+                        '#' => hashes += 1,
+                        '"' => {
+                            is_raw = true;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                if is_raw && text.contains('r') {
+                    for _ in 0..=hashes {
+                        self.bump(); // hashes plus the opening quote
+                    }
+                    self.raw_string(hashes, line);
+                } else if text == "r" && !is_raw {
+                    // Raw identifier r#foo: skip '#', lex the ident.
+                    self.bump();
+                    if let Some((j, c)) = self.bump() {
+                        if c == '_' || c.is_alphabetic() {
+                            self.ident_or_prefixed_literal(j, c, line);
+                        }
+                    }
+                } else {
+                    self.push(TokKind::Ident, text, line);
+                }
+            }
+            _ => self.push(TokKind::Ident, text, line),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        assert_eq!(idents(r#"let x = "HashMap::new()";"#), vec!["let", "x"]);
+    }
+
+    #[test]
+    fn raw_strings_hide_identifiers_and_quotes() {
+        let src = r###"let x = r#"a "quoted" HashMap"# ; let y = unwrap;"###;
+        assert_eq!(idents(src), vec!["let", "x", "let", "y", "unwrap"]);
+    }
+
+    #[test]
+    fn byte_and_c_strings_are_literals() {
+        assert_eq!(
+            idents(r#"f(b"HashMap", br"HashSet", c"Instant");"#),
+            vec!["f"]
+        );
+    }
+
+    #[test]
+    fn comments_hide_identifiers_but_are_captured() {
+        let out = lex("let a = 1; // uses HashMap\n/* block\nHashSet */ let b = 2;");
+        let names: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(names, vec!["let", "a", "let", "b"]);
+        assert_eq!(out.comments.len(), 2);
+        assert_eq!(out.comments[0].line, 1);
+        assert!(out.comments[0].text.contains("HashMap"));
+        assert_eq!(out.comments[1].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        assert_eq!(idents(src), vec!["fn", "f", "x", "str", "str", "x"]);
+    }
+
+    #[test]
+    fn char_literals_including_quote_escape() {
+        assert_eq!(
+            idents(r"let c = '\''; let d = 'x'; let e = '\n';"),
+            vec!["let", "c", "let", "d", "let", "e"]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let out = lex("a\nb\n  c");
+        let lines: Vec<u32> = out.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_method_calls() {
+        // `1.0e-3` must lex as one number; `2.total_cmp` must not eat the dot.
+        assert_eq!(
+            idents("let x = 1.0e-3; let y = 0xFF_u64;"),
+            vec!["let", "x", "let", "y"]
+        );
+        let out = lex("(2.0_f64).total_cmp(&x)");
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "total_cmp"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(idents("/* a /* b */ c */ let z = 1;"), vec!["let", "z"]);
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident() {
+        assert_eq!(idents("let r#mod = 1;"), vec!["let", "mod"]);
+    }
+}

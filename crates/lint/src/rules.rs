@@ -1,0 +1,376 @@
+//! The contract rules: what `psa-lint` checks and where each rule
+//! applies.
+//!
+//! Every rule encodes one determinism or hot-path convention that the
+//! reproduction's byte-identical-output guarantee rests on. Rules match
+//! on the lexed token stream (see [`crate::lexer`]), so strings and
+//! comments can never produce false positives, and apply per *scope*:
+//! library code, binary code, or test code (both `tests/` trees and
+//! `#[cfg(test)]` regions inside library files).
+
+use crate::lexer::{Tok, TokKind};
+
+/// Where a token lives, for rule applicability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Library code: the default for everything under a crate's `src/`.
+    Lib,
+    /// Binary / example code (`src/bin/`, `examples/`): drives the
+    /// artifacts but is not linked into libraries.
+    Bin,
+    /// Test code: `tests/`, `benches/`, and `#[cfg(test)]` regions.
+    Test,
+}
+
+/// Identifies one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// `HashMap`/`HashSet` (and their random-state machinery) in lib or
+    /// bin code: iteration order is randomized per process, which is
+    /// exactly the nondeterminism the `cmp`-gated artifacts forbid.
+    NondetMapIter,
+    /// `unwrap`/`panic!`-family in library code, and `expect` calls
+    /// whose argument is not a literal proof string.
+    PanicInLib,
+    /// `Instant::now`/`SystemTime` outside `psa_bench::harness`: wall
+    /// time read in a library breaks replay determinism.
+    WallclockInLib,
+    /// Thread spawning outside `psa-runtime`: one engine, one
+    /// determinism proof.
+    ThreadOutsideRuntime,
+    /// `print!`/`println!` in library code: stdout is a byte-compared
+    /// artifact owned by the bench binaries.
+    StdoutInLib,
+    /// `partial_cmp(..).unwrap()` on floats (or anything else): float
+    /// ordering must use `total_cmp`.
+    FloatPartialCmp,
+    /// A malformed, unjustified, or unknown-rule `psa-lint: allow`
+    /// directive. Emitted by the engine, never matched on tokens.
+    BadAllow,
+}
+
+impl RuleId {
+    /// Every rule, in diagnostic-stable order.
+    pub const ALL: [RuleId; 7] = [
+        RuleId::NondetMapIter,
+        RuleId::PanicInLib,
+        RuleId::WallclockInLib,
+        RuleId::ThreadOutsideRuntime,
+        RuleId::StdoutInLib,
+        RuleId::FloatPartialCmp,
+        RuleId::BadAllow,
+    ];
+
+    /// The rule's kebab-case name as used in diagnostics and `allow(..)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::NondetMapIter => "nondet-map-iter",
+            RuleId::PanicInLib => "panic-in-lib",
+            RuleId::WallclockInLib => "wallclock-in-lib",
+            RuleId::ThreadOutsideRuntime => "thread-outside-runtime",
+            RuleId::StdoutInLib => "stdout-in-lib",
+            RuleId::FloatPartialCmp => "float-partial-cmp",
+            RuleId::BadAllow => "bad-allow",
+        }
+    }
+
+    /// One-line summary for `--rules`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::NondetMapIter => {
+                "no HashMap/HashSet in lib or bin code: iteration order is per-process random"
+            }
+            RuleId::PanicInLib => {
+                "no unwrap/panic!/unreachable!/todo!/unimplemented! in lib code; expect must \
+                 carry a literal proof string"
+            }
+            RuleId::WallclockInLib => {
+                "Instant::now/SystemTime only in psa_bench::harness: wall time in a library \
+                 breaks replay"
+            }
+            RuleId::ThreadOutsideRuntime => {
+                "thread spawning only in psa-runtime: one engine, one determinism proof"
+            }
+            RuleId::StdoutInLib => {
+                "print!/println! only in binaries: stdout is a byte-compared artifact"
+            }
+            RuleId::FloatPartialCmp => {
+                "never partial_cmp(..).unwrap(): use total_cmp for float ordering"
+            }
+            RuleId::BadAllow => {
+                "psa-lint: allow directives must name known rules and carry a justification"
+            }
+        }
+    }
+
+    /// Parses a rule name as written inside `allow(..)`.
+    pub fn from_name(name: &str) -> Option<RuleId> {
+        RuleId::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Whether the rule applies to tokens in `scope` for the file at
+    /// `path` (a `/`-separated path relative to the workspace root).
+    pub fn applies(self, scope: Scope, path: &str) -> bool {
+        match self {
+            RuleId::NondetMapIter => scope != Scope::Test,
+            RuleId::PanicInLib => scope == Scope::Lib,
+            RuleId::WallclockInLib => {
+                // The bench harness is the one sanctioned wall-clock
+                // reader: it exists to time artifacts.
+                scope == Scope::Lib && !path.ends_with("crates/bench/src/harness.rs")
+            }
+            RuleId::ThreadOutsideRuntime => {
+                scope != Scope::Test && !path.contains("crates/runtime/src/")
+            }
+            RuleId::StdoutInLib => scope == Scope::Lib,
+            // Float ordering is a correctness contract even in tests: a
+            // panicking comparator hides NaNs instead of surfacing them.
+            RuleId::FloatPartialCmp => true,
+            RuleId::BadAllow => false,
+        }
+    }
+}
+
+/// A rule match before suppression processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawFinding {
+    /// Which rule matched.
+    pub rule: RuleId,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable message (no path/line prefix).
+    pub message: String,
+}
+
+fn ident_at(toks: &[Tok], i: usize, name: &str) -> bool {
+    toks.get(i)
+        .is_some_and(|t| t.kind == TokKind::Ident && t.text == name)
+}
+
+fn punct_at(toks: &[Tok], i: usize, ch: char) -> bool {
+    toks.get(i).is_some_and(|t| t.kind == TokKind::Punct(ch))
+}
+
+/// `a::b` starting at `i`: Ident(a) ':' ':' Ident(b).
+fn path2(toks: &[Tok], i: usize, a: &str, b: &str) -> bool {
+    ident_at(toks, i, a)
+        && punct_at(toks, i + 1, ':')
+        && punct_at(toks, i + 2, ':')
+        && ident_at(toks, i + 3, b)
+}
+
+/// Index of the `)` matching the `(` at `open` (which must be a `(`),
+/// or `None` if unbalanced.
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Runs every token-matching rule over one file's token stream.
+///
+/// `scopes[i]` is the scope of `toks[i]`; `path` is the `/`-separated
+/// workspace-relative path used for per-path rule exceptions.
+pub fn scan(path: &str, toks: &[Tok], scopes: &[Scope]) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    let mut push = |rule: RuleId, line: u32, message: String| {
+        out.push(RawFinding {
+            rule,
+            line,
+            message,
+        });
+    };
+
+    for i in 0..toks.len() {
+        let scope = scopes[i];
+        let line = toks[i].line;
+
+        // nondet-map-iter -------------------------------------------------
+        if RuleId::NondetMapIter.applies(scope, path) {
+            if let Some(name) = ident_match(
+                toks,
+                i,
+                &[
+                    "HashMap",
+                    "HashSet",
+                    "hash_map",
+                    "hash_set",
+                    "RandomState",
+                    "DefaultHasher",
+                ],
+            ) {
+                push(
+                    RuleId::NondetMapIter,
+                    line,
+                    format!(
+                        "`{name}` iterates in per-process-random order; use `BTreeMap`/`BTreeSet` \
+                         (or justify with an allow)"
+                    ),
+                );
+            }
+        }
+
+        // panic-in-lib ----------------------------------------------------
+        if RuleId::PanicInLib.applies(scope, path) {
+            if punct_at(toks, i, '.')
+                && ident_at(toks, i + 1, "unwrap")
+                && punct_at(toks, i + 2, '(')
+            {
+                push(
+                    RuleId::PanicInLib,
+                    toks[i + 1].line,
+                    "`.unwrap()` in library code; return a `Result` or use \
+                     `.expect(\"<proof of the invariant>\")`"
+                        .to_string(),
+                );
+            }
+            if punct_at(toks, i, '.')
+                && ident_at(toks, i + 1, "expect")
+                && punct_at(toks, i + 2, '(')
+            {
+                // `.expect("literal")` is the sanctioned de-panicked form:
+                // the message is the proof the invariant holds. Anything
+                // else (empty, a variable, a format!) is a violation.
+                let arg_is_literal = toks.get(i + 3).is_some_and(|t| t.kind == TokKind::Literal);
+                if !arg_is_literal {
+                    push(
+                        RuleId::PanicInLib,
+                        toks[i + 1].line,
+                        "`.expect(..)` without a literal proof string; state the invariant \
+                         as a string literal or return a `Result`"
+                            .to_string(),
+                    );
+                }
+            }
+            if let Some(name) =
+                ident_match(toks, i, &["panic", "unreachable", "todo", "unimplemented"])
+            {
+                // Require a macro delimiter after the `!` so `panic != x`
+                // (a variable compared with !=) can never match.
+                let is_macro = punct_at(toks, i + 1, '!')
+                    && (punct_at(toks, i + 2, '(')
+                        || punct_at(toks, i + 2, '[')
+                        || punct_at(toks, i + 2, '{'));
+                if is_macro {
+                    push(
+                        RuleId::PanicInLib,
+                        line,
+                        format!("`{name}!` in library code; return an error instead of aborting"),
+                    );
+                }
+            }
+        }
+
+        // wallclock-in-lib ------------------------------------------------
+        if RuleId::WallclockInLib.applies(scope, path) {
+            if path2(toks, i, "Instant", "now") {
+                push(
+                    RuleId::WallclockInLib,
+                    line,
+                    "`Instant::now()` in library code; wall time belongs to \
+                     `psa_bench::harness` (pass timings in, don't read the clock)"
+                        .to_string(),
+                );
+            }
+            if ident_at(toks, i, "SystemTime") {
+                push(
+                    RuleId::WallclockInLib,
+                    line,
+                    "`SystemTime` in library code; wall time belongs to `psa_bench::harness`"
+                        .to_string(),
+                );
+            }
+        }
+
+        // thread-outside-runtime ------------------------------------------
+        if RuleId::ThreadOutsideRuntime.applies(scope, path) {
+            if let Some(name) = thread_call(toks, i) {
+                push(
+                    RuleId::ThreadOutsideRuntime,
+                    line,
+                    format!(
+                        "`{name}` outside `psa-runtime`; all worker threads belong to the \
+                         engine so determinism is proved once"
+                    ),
+                );
+            }
+        }
+
+        // stdout-in-lib ---------------------------------------------------
+        if RuleId::StdoutInLib.applies(scope, path) {
+            if let Some(name) = ident_match(toks, i, &["print", "println"]) {
+                if punct_at(toks, i + 1, '!') {
+                    push(
+                        RuleId::StdoutInLib,
+                        line,
+                        format!(
+                            "`{name}!` in library code; stdout is a byte-compared artifact — \
+                             return strings to the binary or use stderr"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // float-partial-cmp -----------------------------------------------
+        if RuleId::FloatPartialCmp.applies(scope, path)
+            && punct_at(toks, i, '.')
+            && ident_at(toks, i + 1, "partial_cmp")
+            && punct_at(toks, i + 2, '(')
+        {
+            if let Some(close) = matching_paren(toks, i + 2) {
+                if punct_at(toks, close + 1, '.')
+                    && (ident_at(toks, close + 2, "unwrap") || ident_at(toks, close + 2, "expect"))
+                {
+                    push(
+                        RuleId::FloatPartialCmp,
+                        toks[i + 1].line,
+                        "`partial_cmp(..).unwrap()` panics on NaN and hides total-order bugs; \
+                         use `total_cmp`"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Matches `toks[i]` against a list of identifier spellings, returning
+/// the matched static name.
+fn ident_match(toks: &[Tok], i: usize, names: &'static [&'static str]) -> Option<&'static str> {
+    let t = toks.get(i)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    names.iter().copied().find(|&n| n == t.text)
+}
+
+/// A thread-spawning call: `thread::{spawn,scope,Builder}` or a
+/// `.spawn(..)` method call (scoped-thread and builder spawns).
+fn thread_call(toks: &[Tok], i: usize) -> Option<&'static str> {
+    for (a, b, label) in [
+        ("thread", "spawn", "thread::spawn"),
+        ("thread", "scope", "thread::scope"),
+        ("thread", "Builder", "thread::Builder"),
+    ] {
+        if path2(toks, i, a, b) {
+            return Some(label);
+        }
+    }
+    if punct_at(toks, i, '.') && ident_at(toks, i + 1, "spawn") && punct_at(toks, i + 2, '(') {
+        return Some(".spawn(..)");
+    }
+    None
+}

@@ -77,7 +77,10 @@ impl Knn {
     }
 
     /// Predicts the label of `sample` by majority vote among the k nearest
-    /// training points (ties broken toward the nearest neighbour's label).
+    /// training points. Vote ties resolve by the explicit
+    /// nearest-then-smallest-label rule: the tied label with the closest
+    /// representative wins, and an exact distance tie goes to the
+    /// numerically smaller label — never to map iteration order.
     ///
     /// # Errors
     ///
@@ -111,21 +114,25 @@ impl Knn {
             .collect();
         dists.sort_by(|a, b| a.0.total_cmp(&b.0));
         let nearest = dists[0];
-        let mut votes: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        let mut votes: std::collections::BTreeMap<usize, usize> = std::collections::BTreeMap::new();
         for &(_, l) in dists.iter().take(self.k) {
             *votes.entry(l).or_insert(0) += 1;
         }
-        let max_votes = votes.values().copied().max().expect("k >= 1");
-        // Tie-break toward the nearest neighbour's label.
-        let label = if votes.get(&nearest.1) == Some(&max_votes) {
-            nearest.1
-        } else {
-            *votes
-                .iter()
-                .max_by_key(|(_, &v)| v)
-                .map(|(l, _)| l)
-                .expect("non-empty votes")
-        };
+        let max_votes = votes.values().copied().max().unwrap_or(0);
+        // Tie rule (nearest-then-smallest-label): among the labels with
+        // the maximum vote count, the one whose nearest representative
+        // in the top-k is closest wins; an exact distance tie falls back
+        // to the numerically smaller label. The nearest neighbour's
+        // label therefore still wins whenever it holds a maximum vote
+        // share, and a 2-2 split can never depend on map iteration
+        // order.
+        let label = dists
+            .iter()
+            .take(self.k)
+            .filter(|(_, l)| votes.get(l) == Some(&max_votes))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|&(_, l)| l)
+            .unwrap_or(nearest.1);
         Ok((label, nearest.0))
     }
 }
@@ -177,6 +184,34 @@ mod tests {
         let knn = Knn::fit(train, vec![7, 8], 2).unwrap();
         assert_eq!(knn.predict(&[0.1]).unwrap(), 7);
         assert_eq!(knn.predict(&[0.9]).unwrap(), 8);
+    }
+
+    #[test]
+    fn two_two_vote_tie_is_deterministic() {
+        // Constructed 2-2 vote tie: labels 9 and 4 each get two of the
+        // k=4 votes. The query sits nearer the label-9 pair, so the
+        // nearest-then-smallest-label rule picks 9 — on every run and
+        // at every hash seed, which the old HashMap-ordered argmax did
+        // not guarantee.
+        let train = vec![vec![0.0], vec![0.4], vec![3.0], vec![3.4]];
+        let knn = Knn::fit(train, vec![9, 9, 4, 4], 4).unwrap();
+        for _ in 0..64 {
+            assert_eq!(knn.predict(&[0.2]).unwrap(), 9);
+            assert_eq!(knn.predict(&[3.2]).unwrap(), 4);
+        }
+    }
+
+    #[test]
+    fn exact_distance_tie_prefers_smaller_label() {
+        // Perfectly symmetric 1-1 tie: both representatives are at
+        // distance 1.0 from the query, so the smaller label must win.
+        let train = vec![vec![0.0], vec![2.0]];
+        let knn = Knn::fit(train, vec![7, 3], 2).unwrap();
+        assert_eq!(knn.predict(&[1.0]).unwrap(), 3);
+        // And a symmetric 2-2 tie at k=4.
+        let train = vec![vec![0.0], vec![4.0], vec![1.0], vec![3.0]];
+        let knn = Knn::fit(train, vec![8, 2, 8, 2], 4).unwrap();
+        assert_eq!(knn.predict(&[2.0]).unwrap(), 2);
     }
 
     #[test]

@@ -264,7 +264,7 @@ mod tests {
     #[test]
     fn cell_seeds_are_distinct_across_the_suite() {
         let c = BakeoffConfig::default();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for si in 0..5 {
             for s in 0..c.seeds_per_scenario {
                 assert!(seen.insert(c.cell_seed(si, s)));

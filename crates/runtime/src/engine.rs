@@ -101,6 +101,10 @@ impl Engine {
     ///
     /// `f` must be deterministic in `(index, job)` alone — context reuse
     /// may change *performance*, never results.
+    // This is the one place in the workspace allowed to spawn threads:
+    // the thread-outside-runtime contract funnels all parallelism here
+    // so determinism is proved once (see clippy.toml / psa-lint).
+    #[allow(clippy::disallowed_methods)]
     pub fn map_ctx<C, J, R, I, F>(&self, jobs: &[J], init: I, f: F) -> Vec<R>
     where
         J: Sync,
